@@ -1,0 +1,68 @@
+//! Placement-decision latency: binpack vs spread vs the stock scheduler,
+//! as the cluster grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cluster::api::PodSpec;
+use cluster::machine::MachineSpec;
+use cluster::node::NodeRole;
+use cluster::topology::{Cluster, ClusterSpec};
+use des::{SimDuration, SimTime};
+use orchestrator::metrics::ClusterView;
+use orchestrator::{PlacementPolicy, SchedulerKind};
+use sgx_sim::units::ByteSize;
+use tsdb::Database;
+
+fn cluster_view(nodes: usize) -> ClusterView {
+    let mut spec = ClusterSpec::new();
+    for i in 0..nodes {
+        let machine = if i % 2 == 0 {
+            MachineSpec::sgx_node()
+        } else {
+            MachineSpec::dell_r330()
+        };
+        spec = spec.with_node(format!("node-{i:03}"), machine, NodeRole::Worker);
+    }
+    let cluster = Cluster::build(&spec);
+    ClusterView::capture(
+        &cluster,
+        &Database::new(),
+        SimTime::from_secs(30),
+        SimDuration::from_secs(25),
+    )
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let sgx_pod = PodSpec::builder("sgx")
+        .sgx_resources(ByteSize::from_mib(16))
+        .build();
+    let std_pod = PodSpec::builder("std")
+        .memory_resources(ByteSize::from_gib(2))
+        .build();
+
+    let mut group = c.benchmark_group("placement_decision");
+    for nodes in [4usize, 16, 64, 256] {
+        let view = cluster_view(nodes);
+        for (name, kind) in [
+            ("binpack", SchedulerKind::SgxAware(PlacementPolicy::Binpack)),
+            ("spread", SchedulerKind::SgxAware(PlacementPolicy::Spread)),
+            ("default", SchedulerKind::KubeDefault),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/sgx_pod"), nodes),
+                &view,
+                |b, view| b.iter(|| black_box(kind.place(black_box(&sgx_pod), view))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/std_pod"), nodes),
+                &view,
+                |b, view| b.iter(|| black_box(kind.place(black_box(&std_pod), view))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation — device-plugin granularity: one resource item per EPC page
+//! (the paper's scheme, §V-A) vs one item per `/dev/isgx` device file.
+//!
+//! The naive per-device registration limits every node to a single SGX
+//! pod at a time. This ablation emulates it by inflating each SGX pod's
+//! request to the node's full usable EPC (a pod then owns the whole
+//! "device"), and compares throughput against per-page granularity.
+
+use bench::{fmt_hm, section, table};
+use borg_trace::{JobKind, Workload};
+use des::SimTime;
+use sgx_orchestrator::Experiment;
+use sgx_sim::units::USABLE_EPC;
+use simulation::analysis::mean_waiting_secs;
+use simulation::replay;
+
+fn main() {
+    let seed = 42;
+    let exp = Experiment::quick(seed).sgx_ratio(0.3);
+    let per_page = exp.workload();
+
+    // Per-device emulation: an SGX pod's request covers the whole EPC, so
+    // exactly one fits per node; its actual usage stays unchanged.
+    let per_device: Workload = per_page
+        .iter()
+        .map(|job| {
+            let mut job = *job;
+            if job.kind == JobKind::Sgx {
+                job.mem_request = USABLE_EPC;
+            }
+            job
+        })
+        .collect();
+
+    section("Ablation: device-plugin granularity (30 % SGX jobs, quick trace)");
+    let mut rows = Vec::new();
+    for (label, workload) in [("per page (paper)", &per_page), ("per device", &per_device)] {
+        let result = replay(workload, &exp.replay_config());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", mean_waiting_secs(&result, Some(JobKind::Sgx))),
+            format!("{:.0}", mean_waiting_secs(&result, Some(JobKind::Standard))),
+            result.completed_count().to_string(),
+            fmt_hm(result.end_time().saturating_since(SimTime::ZERO)),
+        ]);
+    }
+    table(
+        &[
+            "granularity",
+            "SGX mean wait [s]",
+            "std mean wait [s]",
+            "completed",
+            "makespan",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "  expected: per-device serialises SGX pods (≤1 per node), multiplying SGX waits \
+         and stretching the makespan — \"exposing only one resource item would have \
+         utterly limited the usefulness of our contribution\" (§V-A)"
+    );
+}

@@ -1,0 +1,71 @@
+//! Ablation — the EPC paging penalty, and why the orchestrator must
+//! prevent over-commitment (§V-A: "doing so leads to severe performance
+//! drops up to 1000×").
+//!
+//! Runs the Fig. 11 attack (limits off, squatters stealing 50 % of each
+//! node's EPC) at paper scale under different paging-slowdown curves: no
+//! penalty at all, the calibrated default, and a harsher curve. Honest
+//! jobs' runtimes inflate with the slowdown their node suffers at start.
+//!
+//! The run uses the *requests-only* stock scheduler: the SGX-aware
+//! scheduler sees the squatters' measured usage and never over-commits a
+//! node, so the paging curve never engages under it — which is itself the
+//! paper's argument for measured-usage scheduling.
+
+use bench::{fmt_hm, section, table};
+use borg_trace::JobKind;
+use des::SimTime;
+use sgx_orchestrator::Experiment;
+use sgx_sim::cost::CostModel;
+use simulation::analysis::total_turnaround;
+use simulation::replay;
+
+fn main() {
+    let seed = 42;
+    let exp = Experiment::paper_replay(seed)
+        .sgx_ratio(1.0)
+        .scheduler(orchestrator::DEFAULT_SCHEDULER)
+        .limits(false)
+        .malicious(0.5);
+    let workload = exp.workload();
+
+    section("Ablation: paging-slowdown curve under the Fig. 11 attack (paper scale)");
+    let mut rows = Vec::new();
+    for (label, slope) in [("no penalty", 0.0), ("paper-calibrated", 9.0), ("harsh", 100.0)] {
+        let mut model = CostModel::paper_defaults();
+        model.paging_slowdown_slope = slope;
+        let config = exp.replay_config().with_cost_model(model);
+        let result = replay(&workload, &config);
+        let honest_makespan = result
+            .honest_runs()
+            .filter_map(|run| run.record.finished_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO);
+        rows.push(vec![
+            label.to_string(),
+            format!("{slope}"),
+            format!(
+                "{:.0}",
+                total_turnaround(&result, Some(JobKind::Sgx)).as_hours_f64()
+            ),
+            result.completed_count().to_string(),
+            fmt_hm(honest_makespan),
+        ]);
+    }
+    table(
+        &[
+            "slowdown curve",
+            "slope",
+            "Σ SGX turnaround [h]",
+            "completed",
+            "honest makespan",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "  expected: turnaround and makespan grow with the paging penalty — the cost of \
+         letting the EPC over-commit, which strict limits (Fig. 11) avoid entirely"
+    );
+}

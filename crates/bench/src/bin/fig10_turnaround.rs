@@ -1,0 +1,57 @@
+//! Fig. 10 — sum of turnaround times for all jobs, compared with the
+//! useful duration recorded in the trace.
+//!
+//! Paper values (hours): Trace 94; binpack 111 (standard) / 210 (SGX);
+//! spread 129 (standard) / 275 (SGX). Binpack wins; SGX jobs need a bit
+//! less than twice the time of standard ones.
+
+use bench::{section, table};
+use orchestrator::{SGX_BINPACK, SGX_SPREAD};
+use sgx_orchestrator::Experiment;
+use simulation::analysis::total_turnaround;
+
+fn main() {
+    let seed = 42;
+
+    // The Fig. 10 runs contain a single job type each (all standard or
+    // all SGX).
+    let trace_hours = Experiment::paper_replay(seed)
+        .sgx_ratio(0.0)
+        .workload()
+        .total_duration()
+        .as_hours_f64();
+
+    section("Fig. 10: total turnaround time [h]");
+    let mut rows = vec![vec![
+        "trace (useful duration)".to_string(),
+        format!("{trace_hours:.0}"),
+        "94".to_string(),
+    ]];
+    for (scheduler, label, paper_std, paper_sgx) in [
+        (SGX_BINPACK, "binpack", "111", "210"),
+        (SGX_SPREAD, "spread", "129", "275"),
+    ] {
+        let standard = Experiment::paper_replay(seed)
+            .sgx_ratio(0.0)
+            .scheduler(scheduler)
+            .run();
+        rows.push(vec![
+            format!("{label} / standard"),
+            format!("{:.0}", total_turnaround(&standard, None).as_hours_f64()),
+            paper_std.to_string(),
+        ]);
+        let sgx = Experiment::paper_replay(seed)
+            .sgx_ratio(1.0)
+            .scheduler(scheduler)
+            .run();
+        rows.push(vec![
+            format!("{label} / SGX"),
+            format!("{:.0}", total_turnaround(&sgx, None).as_hours_f64()),
+            paper_sgx.to_string(),
+        ]);
+    }
+    table(&["run", "measured [h]", "paper [h]"], &rows);
+
+    println!();
+    println!("  paper: binpack beats spread; SGX ≈ 2× standard under binpack");
+}

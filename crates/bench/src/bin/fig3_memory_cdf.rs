@@ -1,0 +1,45 @@
+//! Fig. 3 — Google Borg trace: distribution of maximal memory usage.
+//!
+//! The paper plots the CDF of each job's maximal memory usage as a
+//! fraction of the largest machine's capacity; the mass sits far below
+//! 0.1 with a thin tail reaching 0.5.
+
+use bench::{section, table};
+use borg_trace::{stats, GeneratorConfig};
+
+fn main() {
+    let seed = 42;
+    // A large materialised sample of the calibrated generator: every 10th
+    // job of the replay-scale process (≈220 k jobs) — the marginal is
+    // scale-invariant, so this reproduces the full-trace distribution.
+    let trace = GeneratorConfig::replay_scale(seed).generate_sampled(10);
+    let cdf = stats::memory_usage_cdf(&trace);
+    let assigned = stats::assigned_memory_cdf(&trace);
+
+    section("Fig. 3: CDF of maximal memory usage [fraction of available memory]");
+    println!("  jobs sampled: {}", trace.len());
+    let rows: Vec<Vec<String>> = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5]
+        .iter()
+        .map(|&x| {
+            vec![
+                format!("{x:.2}"),
+                format!("{:.1}", 100.0 * cdf.fraction_at_or_below(x)),
+                format!("{:.1}", 100.0 * assigned.fraction_at_or_below(x)),
+            ]
+        })
+        .collect();
+    table(
+        &["max mem usage ≤", "CDF [%] (used)", "CDF [%] (assigned)"],
+        &rows,
+    );
+
+    println!();
+    println!(
+        "  max observed fraction: {:.3} (paper: tail ends at 0.5)",
+        cdf.max().unwrap_or(0.0)
+    );
+    println!(
+        "  jobs using more than advertised: {:.1} % (paper §VI-F: 44/663 ≈ 6.6 %)",
+        100.0 * trace.over_user_count() as f64 / trace.len() as f64
+    );
+}

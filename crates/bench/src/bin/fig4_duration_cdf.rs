@@ -1,0 +1,33 @@
+//! Fig. 4 — Google Borg trace: distribution of job duration.
+//!
+//! The paper's CDF shows every job lasting at most 300 s, which is what
+//! justifies replaying a one-hour slice.
+
+use bench::{section, table};
+use borg_trace::{stats, GeneratorConfig};
+
+fn main() {
+    let seed = 42;
+    let trace = GeneratorConfig::replay_scale(seed).generate_sampled(10);
+    let cdf = stats::duration_cdf(&trace);
+
+    section("Fig. 4: CDF of job duration [s]");
+    println!("  jobs sampled: {}", trace.len());
+    let rows: Vec<Vec<String>> = [15, 30, 60, 90, 120, 180, 240, 300]
+        .iter()
+        .map(|&x| {
+            vec![
+                format!("{x}"),
+                format!("{:.1}", 100.0 * cdf.fraction_at_or_below(x as f64)),
+            ]
+        })
+        .collect();
+    table(&["duration ≤ [s]", "CDF [%]"], &rows);
+
+    println!();
+    println!(
+        "  max duration: {:.0} s (paper: all jobs last at most 300 s)",
+        cdf.max().unwrap_or(0.0)
+    );
+    println!("  median duration: {:.0} s", cdf.quantile(0.5).unwrap_or(0.0));
+}

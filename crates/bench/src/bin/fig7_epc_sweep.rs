@@ -1,0 +1,78 @@
+//! Fig. 7 — total memory requested by pending pods over time, for
+//! simulated EPC sizes of 32, 64, 128 and 256 MiB.
+//!
+//! The paper replays the prepared trace (100 % SGX jobs, binpack) against
+//! simulated clusters whose SGX nodes carry different EPC sizes and plots
+//! the queued-EPC backlog over time. Reported makespans: 4 h 47 m
+//! (32 MiB), 2 h 47 m (64 MiB), 1 h 22 m (128 MiB), 1 h 00 m (256 MiB —
+//! no contention at all).
+
+use bench::{fmt_hm, section, table};
+use des::{SimDuration, SimTime};
+use sgx_orchestrator::Experiment;
+use sgx_sim::units::ByteSize;
+
+fn main() {
+    let seed = 42;
+    let sizes = [32u64, 64, 128, 256];
+    let paper_makespans = ["4h47m", "2h47m", "1h22m", "1h00m"];
+
+    section("Fig. 7: pending EPC requests over time per simulated EPC size");
+    let mut results = Vec::new();
+    for &mib in &sizes {
+        let result = Experiment::paper_replay(seed)
+            .sgx_ratio(1.0)
+            .epc_total(ByteSize::from_mib(mib))
+            .run();
+        results.push((mib, result));
+    }
+
+    // The backlog series, one column per EPC size, max within 20 min
+    // buckets (the paper's x-axis spans 0–300 min).
+    let bucket = SimDuration::from_mins(20);
+    let horizon = results
+        .iter()
+        .map(|(_, r)| r.end_time())
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let mut rows = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t <= horizon {
+        let mut row = vec![format!("{}", t.as_secs() / 60)];
+        for (_, result) in &results {
+            let window_max = result
+                .pending_epc_series()
+                .points()
+                .iter()
+                .filter(|&&(pt, _)| pt >= t && pt < t + bucket)
+                .map(|&(_, v)| v)
+                .fold(0.0_f64, f64::max);
+            row.push(format!("{window_max:.0}"));
+        }
+        rows.push(row);
+        t += bucket;
+    }
+    table(
+        &["t [min]", "32 MiB [MiB]", "64 MiB [MiB]", "128 MiB [MiB]", "256 MiB [MiB]"],
+        &rows,
+    );
+
+    section("Makespans (batch completion)");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .zip(paper_makespans)
+        .map(|((mib, result), paper)| {
+            vec![
+                format!("{mib}"),
+                fmt_hm(result.end_time().saturating_since(SimTime::ZERO)),
+                paper.to_string(),
+                format!("{:.0}", result.pending_epc_series().peak().unwrap_or(0.0)),
+                result.unschedulable_count().to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &["EPC [MiB]", "measured", "paper", "peak backlog [MiB]", "unschedulable"],
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig. 8 — CDF of waiting times for varying shares of SGX-enabled jobs
+//! (binpack strategy).
+//!
+//! Paper observations: the no-SGX run waits least; 25 % and 50 % SGX stay
+//! very close to it; the pure-SGX run's tail "goes off the chart" with a
+//! longest wait of 4696 s — more than any job's duration.
+
+use bench::{quantile_headers, quantile_row, section, table};
+use sgx_orchestrator::Experiment;
+use simulation::analysis::waiting_cdf;
+
+fn main() {
+    let seed = 42;
+    let ratios = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+    section("Fig. 8: CDF of waiting times by SGX-job share (binpack) [s]");
+    let mut rows = Vec::new();
+    let mut max_wait_full_sgx = 0.0_f64;
+    for &ratio in &ratios {
+        let result = Experiment::paper_replay(seed).sgx_ratio(ratio).run();
+        let cdf = waiting_cdf(&result, None);
+        if ratio == 1.0 {
+            max_wait_full_sgx = cdf.max().unwrap_or(0.0);
+        }
+        rows.push(quantile_row(
+            &format!("{:>3.0}% SGX", ratio * 100.0),
+            &cdf,
+        ));
+    }
+    table(&quantile_headers(), &rows);
+
+    println!();
+    println!(
+        "  longest wait in the pure-SGX run: {max_wait_full_sgx:.0} s (paper: 4696 s, \
+         exceeding any job duration)"
+    );
+    println!("  paper: 25–50 % SGX runs sit close to the no-SGX curve; 100 % has a heavy tail");
+}

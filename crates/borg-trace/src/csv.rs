@@ -1,0 +1,193 @@
+//! CSV (de)serialisation of traces.
+//!
+//! The real Borg trace ships as CSV tables; this module lets prepared
+//! synthetic traces be written to disk and reloaded, so expensive
+//! generation runs can be cached and exact job lists can be shared between
+//! experiments.
+//!
+//! Format (header required):
+//!
+//! ```text
+//! id,submit_us,duration_us,assigned_mem_fraction,max_mem_fraction
+//! 1,0,10000000,0.1,0.05
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use des::{SimDuration, SimTime};
+
+use crate::job::{JobId, Trace, TraceJob};
+
+/// The expected CSV header line.
+pub const HEADER: &str = "id,submit_us,duration_us,assigned_mem_fraction,max_mem_fraction";
+
+/// Errors produced when parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// The first line is not the expected header.
+    BadHeader {
+        /// What was actually found.
+        found: String,
+    },
+    /// A data line has the wrong number of fields or an unparsable field.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHeader { found } => {
+                write!(f, "bad header: expected `{HEADER}`, found `{found}`")
+            }
+            CsvError::BadRecord { line, message } => {
+                write!(f, "bad record on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CsvError {}
+
+/// Serialises a trace to CSV text.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 48 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for job in trace {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            job.id.as_u64(),
+            job.submit.as_micros(),
+            job.duration.as_micros(),
+            job.assigned_mem_fraction,
+            job.max_mem_fraction,
+        ));
+    }
+    out
+}
+
+/// Parses a trace from CSV text (jobs are re-sorted by submission time).
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on a malformed header or record.
+pub fn from_csv(text: &str) -> Result<Trace, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == HEADER => {}
+        Some((_, other)) => {
+            return Err(CsvError::BadHeader {
+                found: other.trim().to_string(),
+            })
+        }
+        None => return Err(CsvError::BadHeader { found: String::new() }),
+    }
+
+    let mut jobs = Vec::new();
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(CsvError::BadRecord {
+                line: idx + 1,
+                message: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|e| CsvError::BadRecord {
+                line: idx + 1,
+                message: format!("invalid {what} `{s}`: {e}"),
+            })
+        };
+        let parse_f64 = |s: &str, what: &str| {
+            s.parse::<f64>()
+                .map_err(|e| CsvError::BadRecord {
+                    line: idx + 1,
+                    message: format!("invalid {what} `{s}`: {e}"),
+                })
+                .and_then(|v| {
+                    if v.is_finite() && (0.0..=1.0).contains(&v) {
+                        Ok(v)
+                    } else {
+                        Err(CsvError::BadRecord {
+                            line: idx + 1,
+                            message: format!("{what} {v} outside [0, 1]"),
+                        })
+                    }
+                })
+        };
+        jobs.push(TraceJob {
+            id: JobId::new(parse_u64(fields[0], "id")?),
+            submit: SimTime::from_micros(parse_u64(fields[1], "submit_us")?),
+            duration: SimDuration::from_micros(parse_u64(fields[2], "duration_us")?),
+            assigned_mem_fraction: parse_f64(fields[3], "assigned_mem_fraction")?,
+            max_mem_fraction: parse_f64(fields[4], "max_mem_fraction")?,
+        });
+    }
+    Ok(Trace::from_jobs(jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = GeneratorConfig::small(3).generate();
+        let text = to_csv(&trace);
+        let parsed = from_csv(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let err = from_csv("wrong,header\n1,2,3,4,5\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }));
+        let err = from_csv("").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn bad_records_are_located() {
+        let text = format!("{HEADER}\n1,0,1000,0.1,0.05\nnot,a,row\n");
+        let err = from_csv(&text).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::BadRecord {
+                line: 3,
+                message: "expected 5 fields, found 3".into()
+            }
+        );
+    }
+
+    #[test]
+    fn fractions_outside_unit_interval_rejected() {
+        let text = format!("{HEADER}\n1,0,1000,1.5,0.05\n");
+        let err = from_csv(&text).unwrap_err();
+        assert!(matches!(err, CsvError::BadRecord { line: 2, .. }));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("{HEADER}\n\n1,0,1000,0.1,0.05\n\n");
+        let trace = from_csv(&text).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let text = to_csv(&Trace::default());
+        assert_eq!(from_csv(&text).unwrap(), Trace::default());
+    }
+}

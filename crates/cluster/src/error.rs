@@ -1,0 +1,88 @@
+//! Error type for node and cluster operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::api::{NodeName, PodUid};
+use sgx_sim::SgxError;
+
+/// Errors returned by node (Kubelet) and cluster operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// No node with this name exists.
+    UnknownNode(NodeName),
+    /// No pod with this uid runs on the node.
+    UnknownPod(PodUid),
+    /// The pod uid is already in use on the node.
+    PodAlreadyRunning(PodUid),
+    /// The pod's requests exceed the node's remaining allocatable
+    /// resources; admission refused.
+    InsufficientResources {
+        /// Node that refused the pod.
+        node: NodeName,
+        /// Human-readable description of the shortfall.
+        reason: String,
+    },
+    /// An SGX pod was sent to a node without the SGX kernel module.
+    SgxUnavailable(NodeName),
+    /// The node is not schedulable (e.g. the master).
+    NodeUnschedulable(NodeName),
+    /// An error surfaced from the SGX driver (e.g. the enclave admission
+    /// check denying an over-limit pod).
+    Sgx(SgxError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::UnknownPod(p) => write!(f, "unknown pod {p}"),
+            ClusterError::PodAlreadyRunning(p) => write!(f, "pod {p} is already running"),
+            ClusterError::InsufficientResources { node, reason } => {
+                write!(f, "node {node} cannot admit pod: {reason}")
+            }
+            ClusterError::SgxUnavailable(n) => {
+                write!(f, "node {n} has no SGX support (isgx module absent)")
+            }
+            ClusterError::NodeUnschedulable(n) => write!(f, "node {n} is not schedulable"),
+            ClusterError::Sgx(e) => write!(f, "sgx driver: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for ClusterError {
+    fn from(e: SgxError) -> Self {
+        ClusterError::Sgx(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ClusterError::SgxUnavailable(NodeName::new("n1"));
+        assert!(e.to_string().contains("n1"));
+        let inner = SgxError::DynamicMemoryUnsupported;
+        let e: ClusterError = inner.clone().into();
+        assert_eq!(e.to_string(), format!("sgx driver: {inner}"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ClusterError>();
+    }
+}

@@ -1,0 +1,184 @@
+//! The monitoring probes of §V-C.
+//!
+//! Two probe kinds run on the nodes and push into the shared time-series
+//! database:
+//!
+//! * **Heapster** — Kubernetes' stock container monitor, collecting
+//!   per-pod ordinary-memory usage into the `memory/usage` measurement.
+//! * **SGX probe** — the paper's custom probe, deployed as a DaemonSet on
+//!   every SGX node (recognised by the device plugin's EPC advertisement),
+//!   reading per-pod EPC usage from the modified driver into the
+//!   `sgx/epc` measurement.
+//!
+//! Both tag points with `pod_name` and `nodename`, which is what the
+//! scheduler's Listing 1 query groups by.
+
+use serde::{Deserialize, Serialize};
+
+use des::{SimDuration, SimTime};
+use tsdb::Point;
+
+use crate::node::Node;
+
+/// Measurement name for ordinary memory usage (Heapster).
+pub const MEASUREMENT_MEMORY: &str = "memory/usage";
+
+/// Measurement name for EPC usage (the SGX probe).
+pub const MEASUREMENT_EPC: &str = "sgx/epc";
+
+/// A monitoring probe: which metrics it scrapes and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Probe {
+    kind: ProbeKind,
+    period: SimDuration,
+}
+
+/// The two probe kinds of the paper's monitoring layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeKind {
+    /// Heapster: per-pod ordinary memory.
+    Heapster,
+    /// The SGX probe: per-pod EPC pages, read from the modified driver.
+    Sgx,
+}
+
+impl Probe {
+    /// A Heapster probe with the given scrape period.
+    pub fn heapster(period: SimDuration) -> Self {
+        Probe {
+            kind: ProbeKind::Heapster,
+            period,
+        }
+    }
+
+    /// An SGX probe with the given scrape period.
+    pub fn sgx(period: SimDuration) -> Self {
+        Probe {
+            kind: ProbeKind::Sgx,
+            period,
+        }
+    }
+
+    /// Default probes at a 10 s scrape period (comfortably inside the
+    /// scheduler's 25 s sliding window).
+    pub fn default_pair() -> [Probe; 2] {
+        [
+            Probe::heapster(SimDuration::from_secs(10)),
+            Probe::sgx(SimDuration::from_secs(10)),
+        ]
+    }
+
+    /// The probe kind.
+    pub fn kind(&self) -> ProbeKind {
+        self.kind
+    }
+
+    /// The scrape period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Whether this probe should be deployed on `node` — the DaemonSet for
+    /// the SGX probe selects nodes by the EPC resource the device plugin
+    /// advertised (§V-C).
+    pub fn targets(&self, node: &Node) -> bool {
+        match self.kind {
+            ProbeKind::Heapster => true,
+            ProbeKind::Sgx => node.has_sgx(),
+        }
+    }
+
+    /// Scrapes the node, producing one point per pod with non-zero usage.
+    /// Values are bytes; tags are `pod_name` and `nodename`.
+    pub fn sample(&self, node: &Node, now: SimTime) -> Vec<Point> {
+        let nodename = node.name().as_str().to_string();
+        let (measurement, usage) = match self.kind {
+            ProbeKind::Heapster => (MEASUREMENT_MEMORY, node.memory_usage_by_pod()),
+            ProbeKind::Sgx => (MEASUREMENT_EPC, node.epc_usage_by_pod()),
+        };
+        usage
+            .into_iter()
+            .map(|(uid, bytes)| {
+                Point::new(measurement, now, bytes.as_bytes() as f64)
+                    .with_tag("pod_name", uid.to_string())
+                    .with_tag("nodename", nodename.clone())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{NodeName, PodSpec, PodUid};
+    use crate::machine::MachineSpec;
+    use crate::node::NodeRole;
+    use des::rng::seeded_rng;
+    use sgx_sim::units::ByteSize;
+
+    fn nodes() -> (Node, Node) {
+        (
+            Node::new(NodeName::new("std-1"), MachineSpec::dell_r330(), NodeRole::Worker),
+            Node::new(NodeName::new("sgx-1"), MachineSpec::sgx_node(), NodeRole::Worker),
+        )
+    }
+
+    #[test]
+    fn daemonset_targets_sgx_probe_at_sgx_nodes_only() {
+        let (std_node, sgx_node) = nodes();
+        let [heapster, sgx] = Probe::default_pair();
+        assert!(heapster.targets(&std_node));
+        assert!(heapster.targets(&sgx_node));
+        assert!(!sgx.targets(&std_node));
+        assert!(sgx.targets(&sgx_node));
+        assert_eq!(sgx.kind(), ProbeKind::Sgx);
+        assert_eq!(sgx.period(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn sgx_probe_emits_tagged_epc_points() {
+        let (_, mut sgx_node) = nodes();
+        let mut rng = seeded_rng(1);
+        let spec = PodSpec::builder("job")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        sgx_node
+            .run_pod(PodUid::new(7), spec, SimTime::ZERO, &mut rng)
+            .unwrap();
+
+        let points = Probe::sgx(SimDuration::from_secs(10)).sample(&sgx_node, SimTime::from_secs(10));
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.measurement(), MEASUREMENT_EPC);
+        assert_eq!(p.tag("pod_name"), Some("pod-7"));
+        assert_eq!(p.tag("nodename"), Some("sgx-1"));
+        assert_eq!(p.value(), ByteSize::from_mib(10).as_bytes() as f64);
+    }
+
+    #[test]
+    fn heapster_emits_memory_points() {
+        let (mut std_node, _) = nodes();
+        let mut rng = seeded_rng(2);
+        let spec = PodSpec::builder("web")
+            .memory_resources(ByteSize::from_gib(1))
+            .build();
+        std_node
+            .run_pod(PodUid::new(1), spec, SimTime::ZERO, &mut rng)
+            .unwrap();
+
+        let points =
+            Probe::heapster(SimDuration::from_secs(10)).sample(&std_node, SimTime::from_secs(10));
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].measurement(), MEASUREMENT_MEMORY);
+        assert_eq!(points[0].value(), ByteSize::from_gib(1).as_bytes() as f64);
+    }
+
+    #[test]
+    fn idle_nodes_emit_nothing() {
+        let (std_node, sgx_node) = nodes();
+        for probe in Probe::default_pair() {
+            assert!(probe.sample(&std_node, SimTime::ZERO).is_empty());
+            assert!(probe.sample(&sgx_node, SimTime::ZERO).is_empty());
+        }
+    }
+}

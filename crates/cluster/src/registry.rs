@@ -1,0 +1,119 @@
+//! Container registry pulls (§IV, step Ë: "the image is initially pulled
+//! from a public or private container registry").
+//!
+//! Nodes cache images after the first pull, so in a replay only the first
+//! pod per (image, node) pair pays the transfer cost. The model is
+//! **opt-in** per node ([`crate::node::Node::set_registry`]): the paper's
+//! measurements pre-pull the stress images, so the default replay keeps
+//! pulls out of the waiting times, while deployments that want the effect
+//! can enable it.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use des::SimDuration;
+use stress::ContainerImage;
+
+/// Transfer characteristics of the registry as seen from a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegistryModel {
+    /// Sustained pull throughput, MiB/s (the paper's 1 Gbit/s network).
+    pub bandwidth_mib_per_sec: f64,
+    /// Per-pull fixed latency (manifest resolution, auth), ms.
+    pub latency_ms: f64,
+}
+
+impl RegistryModel {
+    /// A registry reachable over the paper's 1 Gbit/s switched network.
+    pub fn paper_network() -> Self {
+        RegistryModel {
+            bandwidth_mib_per_sec: 119.2,
+            latency_ms: 30.0,
+        }
+    }
+
+    /// Time to pull `image` in full.
+    pub fn pull_time(&self, image: &ContainerImage) -> SimDuration {
+        let transfer_ms =
+            image.nominal_size().as_mib_f64() / self.bandwidth_mib_per_sec * 1000.0;
+        SimDuration::from_millis_f64(self.latency_ms + transfer_ms)
+    }
+}
+
+impl Default for RegistryModel {
+    fn default() -> Self {
+        RegistryModel::paper_network()
+    }
+}
+
+/// A node's local image cache.
+#[derive(Debug, Clone, Default)]
+pub struct ImageCache {
+    cached: BTreeSet<String>,
+}
+
+impl ImageCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ImageCache::default()
+    }
+
+    /// Whether `image` is already present locally.
+    pub fn contains(&self, image: &ContainerImage) -> bool {
+        self.cached.contains(image.name())
+    }
+
+    /// Ensures `image` is present, returning the pull delay incurred
+    /// (zero on a cache hit).
+    pub fn ensure(&mut self, image: &ContainerImage, registry: &RegistryModel) -> SimDuration {
+        if self.cached.insert(image.name().to_string()) {
+            registry.pull_time(image)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Number of distinct images cached.
+    pub fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// `true` when nothing has been pulled yet.
+    pub fn is_empty(&self) -> bool {
+        self.cached.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pull_time_scales_with_image_size() {
+        let registry = RegistryModel::paper_network();
+        let sgx = registry.pull_time(&ContainerImage::sgx_base()); // 420 MiB
+        let plain = registry.pull_time(&ContainerImage::stress_ng()); // 180 MiB
+        assert!(sgx > plain);
+        // 420 MiB / 119.2 MiB/s ≈ 3.52 s + 30 ms.
+        assert!((sgx.as_secs_f64() - 3.55).abs() < 0.05, "{sgx}");
+    }
+
+    #[test]
+    fn cache_pays_only_the_first_pull() {
+        let registry = RegistryModel::paper_network();
+        let mut cache = ImageCache::new();
+        assert!(cache.is_empty());
+        let image = ContainerImage::sgx_base();
+        assert!(!cache.contains(&image));
+        let first = cache.ensure(&image, &registry);
+        assert!(first > SimDuration::ZERO);
+        assert!(cache.contains(&image));
+        let second = cache.ensure(&image, &registry);
+        assert_eq!(second, SimDuration::ZERO);
+        // A different image pulls again.
+        let other = cache.ensure(&ContainerImage::stress_ng(), &registry);
+        assert!(other > SimDuration::ZERO);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! `sgxctl` — command-line front end to the sgx-orchestrator workspace.
+//!
+//! ```text
+//! sgxctl cluster                         inspect the paper's cluster
+//! sgxctl trace generate [opts]           write a prepared trace as CSV
+//! sgxctl trace stats [opts]              marginal statistics (Figs. 3-5)
+//! sgxctl replay [opts]                   replay a workload, print metrics
+//! sgxctl help                            this text
+//! ```
+//!
+//! Run `sgxctl <command> --help` for the options of each command.
+
+use std::process::ExitCode;
+
+use borg_trace::{stats, GeneratorConfig, JobKind, TracePipeline, Workload, WorkloadParams};
+use orchestrator::billing::{Invoice, PriceSheet};
+use sgx_orchestrator::prelude::*;
+use simulation::analysis::{mean_waiting_secs, total_turnaround, waiting_cdf};
+
+const HELP: &str = "\
+sgxctl — SGX-aware container orchestration for heterogeneous clusters
+
+USAGE:
+    sgxctl <COMMAND> [OPTIONS]
+
+COMMANDS:
+    cluster            Show the paper's five-machine cluster topology
+    trace generate     Generate the prepared Borg-derived trace as CSV (stdout)
+    trace stats        Print the trace's marginal statistics (Figs. 3-5)
+    replay             Replay a workload against the simulated cluster
+    help               Show this message
+
+COMMON OPTIONS:
+    --seed <N>         Base seed (default 42); every run is a pure function of it
+
+`sgxctl replay` OPTIONS:
+    --trace <FILE>     Replay a CSV trace instead of generating one
+    --quick            Use the small one-hour trace instead of paper scale
+    --sgx-ratio <R>    Fraction of jobs designated SGX-enabled (default 0.5)
+    --scheduler <S>    sgx-binpack | sgx-spread | default (default sgx-binpack)
+    --epc-total <MIB>  Simulate a single SGX node with this much usable EPC
+    --no-limits        Disable driver-side EPC limit enforcement (Fig. 11)
+    --malicious <F>    Add one squatter per SGX node mapping F of its EPC
+    --bill             Print the invoice total (requests-based billing)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args::new(&args);
+    match args.next_positional().as_deref() {
+        Some("cluster") => cmd_cluster(),
+        Some("trace") => match args.next_positional().as_deref() {
+            Some("generate") => cmd_trace_generate(&mut args),
+            Some("stats") => cmd_trace_stats(&mut args),
+            other => usage_error(&format!("unknown trace subcommand {other:?}")),
+        },
+        Some("replay") => cmd_replay(&mut args),
+        Some("help") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n");
+    eprint!("{HELP}");
+    ExitCode::FAILURE
+}
+
+// ------------------------------------------------------------- commands
+
+fn cmd_cluster() -> ExitCode {
+    let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+    println!("{:<8} {:<7} {:>9} {:>13} {:>9} {:>10}", "NAME", "ROLE", "MEMORY", "EPC (usable)", "SGX", "PLATFORM");
+    for node in cluster.nodes() {
+        println!(
+            "{:<8} {:<7} {:>9} {:>13} {:>9} {:>10}",
+            node.name().as_str(),
+            if node.is_schedulable() { "worker" } else { "master" },
+            node.allocatable_memory().to_string(),
+            node.spec().usable_epc().to_string(),
+            node
+                .driver()
+                .map_or("-".to_string(), |d| d.version().to_string()),
+            node.platform()
+                .map_or("-".to_string(), |p| format!("{p:#010x}")[..10].to_string()),
+        );
+    }
+    println!(
+        "\ntotal: {} of memory, {} of EPC across {} workers",
+        cluster.total_memory(),
+        cluster.total_epc(),
+        cluster.schedulable_nodes().count(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn prepared_trace(args: &mut Args) -> Result<borg_trace::Trace, String> {
+    let seed = args.flag_u64("--seed")?.unwrap_or(42);
+    if args.has_flag("--quick") {
+        Ok(GeneratorConfig::small(seed).generate())
+    } else {
+        let raw = GeneratorConfig::replay_scale(seed).generate_sampled(1200);
+        Ok(TracePipeline::paper().sample_every(1).prepare(&raw))
+    }
+}
+
+fn cmd_trace_generate(args: &mut Args) -> ExitCode {
+    match prepared_trace(args) {
+        Ok(trace) => {
+            print!("{}", borg_trace::csv::to_csv(&trace));
+            eprintln!("generated {} jobs", trace.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => usage_error(&e),
+    }
+}
+
+fn cmd_trace_stats(args: &mut Args) -> ExitCode {
+    let trace = match load_or_generate_trace(args) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    let durations = stats::duration_cdf(&trace);
+    let memory = stats::memory_usage_cdf(&trace);
+    println!("jobs:            {}", trace.len());
+    println!(
+        "useful duration: {:.1} h",
+        trace.total_duration().as_hours_f64()
+    );
+    println!(
+        "duration [s]:    median {:.0}, p95 {:.0}, max {:.0}",
+        durations.quantile(0.5).unwrap_or(0.0),
+        durations.quantile(0.95).unwrap_or(0.0),
+        durations.max().unwrap_or(0.0),
+    );
+    println!(
+        "mem fraction:    median {:.4}, p95 {:.3}, max {:.3}",
+        memory.quantile(0.5).unwrap_or(0.0),
+        memory.quantile(0.95).unwrap_or(0.0),
+        memory.max().unwrap_or(0.0),
+    );
+    println!(
+        "over-users:      {} ({:.1} %)",
+        trace.over_user_count(),
+        100.0 * trace.over_user_count() as f64 / trace.len().max(1) as f64,
+    );
+    ExitCode::SUCCESS
+}
+
+fn load_or_generate_trace(args: &mut Args) -> Result<borg_trace::Trace, String> {
+    if let Some(path) = args.flag_value("--trace") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read trace file `{path}`: {e}"))?;
+        borg_trace::csv::from_csv(&text).map_err(|e| format!("bad trace file: {e}"))
+    } else {
+        prepared_trace(args)
+    }
+}
+
+fn cmd_replay(args: &mut Args) -> ExitCode {
+    let seed = match args.flag_u64("--seed") {
+        Ok(v) => v.unwrap_or(42),
+        Err(e) => return usage_error(&e),
+    };
+    let trace = match load_or_generate_trace(args) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&e),
+    };
+    let ratio = match args.flag_f64("--sgx-ratio") {
+        Ok(v) => v.unwrap_or(0.5),
+        Err(e) => return usage_error(&e),
+    };
+    if !(0.0..=1.0).contains(&ratio) {
+        return usage_error("--sgx-ratio must lie in [0, 1]");
+    }
+    let scheduler = args
+        .flag_value("--scheduler")
+        .unwrap_or_else(|| SGX_BINPACK.to_string());
+    if SchedulerKind::by_name(&scheduler).is_none() {
+        return usage_error(&format!("unknown scheduler `{scheduler}`"));
+    }
+
+    let workload = Workload::materialize(&trace, &WorkloadParams::paper(ratio, seed));
+    let mut config = ReplayConfig::paper(seed).with_scheduler(&scheduler);
+    match args.flag_u64("--epc-total") {
+        Ok(Some(mib)) => {
+            config = config.with_cluster(ClusterSpec::sim_cluster_with_total_epc(
+                ByteSize::from_mib(mib),
+            ));
+        }
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
+    }
+    if args.has_flag("--no-limits") {
+        config = config.without_limits();
+    }
+    match args.flag_f64("--malicious") {
+        Ok(Some(fraction)) => {
+            config = config.with_malicious(MaliciousConfig::squatting(fraction));
+        }
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
+    }
+
+    eprintln!(
+        "replaying {} jobs ({} SGX) under {scheduler}…",
+        workload.len(),
+        workload.sgx_count()
+    );
+    let result = simulation::replay(&workload, &config);
+
+    println!("makespan:      {}", result.end_time());
+    println!(
+        "outcomes:      {} completed, {} denied at launch, {} unschedulable",
+        result.completed_count(),
+        result.denied_count(),
+        result.unschedulable_count(),
+    );
+    for kind in [JobKind::Standard, JobKind::Sgx] {
+        let cdf = waiting_cdf(&result, Some(kind));
+        if cdf.is_empty() {
+            continue;
+        }
+        println!(
+            "{kind:>9} jobs: mean wait {:>7.1} s | p95 {:>6.0} s | max {:>6.0} s | Σ turnaround {:>6.1} h",
+            mean_waiting_secs(&result, Some(kind)),
+            cdf.quantile(0.95).unwrap_or(0.0),
+            cdf.max().unwrap_or(0.0),
+            total_turnaround(&result, Some(kind)).as_hours_f64(),
+        );
+    }
+    println!(
+        "peak backlog:  {:.0} MiB of pending EPC requests",
+        result.pending_epc_series().peak().unwrap_or(0.0)
+    );
+    if args.has_flag("--bill") {
+        let records: std::collections::BTreeMap<_, _> = result
+            .runs()
+            .iter()
+            .map(|run| (run.record.uid, run.record.clone()))
+            .collect();
+        let invoice = Invoice::compute(&records, &PriceSheet::paper_cluster());
+        println!(
+            "invoice:       {:.4} across {} billed pods (requests × running time)",
+            invoice.total(),
+            invoice.lines().len(),
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+// --------------------------------------------------------- tiny arg parser
+
+struct Args {
+    tokens: Vec<String>,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Self {
+        Args {
+            tokens: args.to_vec(),
+        }
+    }
+
+    /// Removes and returns the first non-flag token.
+    fn next_positional(&mut self) -> Option<String> {
+        let idx = self.tokens.iter().position(|t| !t.starts_with("--"))?;
+        Some(self.tokens.remove(idx))
+    }
+
+    /// Removes a boolean flag, returning whether it was present.
+    fn has_flag(&mut self, name: &str) -> bool {
+        match self.tokens.iter().position(|t| t == name) {
+            Some(idx) => {
+                self.tokens.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `--name value`, returning the value.
+    fn flag_value(&mut self, name: &str) -> Option<String> {
+        let idx = self.tokens.iter().position(|t| t == name)?;
+        if idx + 1 >= self.tokens.len() {
+            return None;
+        }
+        self.tokens.remove(idx);
+        Some(self.tokens.remove(idx))
+    }
+
+    fn flag_u64(&mut self, name: &str) -> Result<Option<u64>, String> {
+        self.flag_value(name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("{name} expects an integer, got `{v}`"))
+            })
+            .transpose()
+    }
+
+    fn flag_f64(&mut self, name: &str) -> Result<Option<f64>, String> {
+        self.flag_value(name)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("{name} expects a number, got `{v}`"))
+            })
+            .transpose()
+    }
+}

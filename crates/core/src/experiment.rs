@@ -1,0 +1,217 @@
+//! The high-level experiment builder used by examples and benchmarks.
+
+use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams};
+use cluster::topology::ClusterSpec;
+use sgx_sim::units::ByteSize;
+use simulation::{replay, MaliciousConfig, ReplayConfig, ReplayResult};
+
+/// Which trace the experiment replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePreset {
+    /// A small one-hour trace (≈1–2 k jobs) that replays in well under a
+    /// second — for examples and tests.
+    Quick,
+    /// The paper's §VI-B preparation: full-rate generation, slice
+    /// `[6480 s, 10 080 s)`, every 1200th job → ≈663 replayed jobs.
+    PaperReplay,
+}
+
+/// End-to-end experiment: generate → prepare → materialise → replay.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_orchestrator::Experiment;
+/// use sgx_sim::units::ByteSize;
+///
+/// let result = Experiment::quick(7)
+///     .sgx_ratio(1.0)
+///     .epc_size(ByteSize::from_mib(64))
+///     .run();
+/// assert!(!result.timed_out());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    seed: u64,
+    preset: TracePreset,
+    sgx_ratio: f64,
+    scheduler: String,
+    epc_size: Option<ByteSize>,
+    epc_total: Option<ByteSize>,
+    enforce_limits: bool,
+    malicious: Option<MaliciousConfig>,
+}
+
+impl Experiment {
+    /// A quick laptop-scale experiment.
+    pub fn quick(seed: u64) -> Self {
+        Experiment {
+            seed,
+            preset: TracePreset::Quick,
+            sgx_ratio: 0.5,
+            scheduler: orchestrator::SGX_BINPACK.to_string(),
+            epc_size: None,
+            epc_total: None,
+            enforce_limits: true,
+            malicious: None,
+        }
+    }
+
+    /// The paper's replay-scale experiment (≈663 jobs over one hour of
+    /// submissions).
+    pub fn paper_replay(seed: u64) -> Self {
+        Experiment {
+            preset: TracePreset::PaperReplay,
+            ..Experiment::quick(seed)
+        }
+    }
+
+    /// Fraction of jobs designated SGX-enabled (paper sweeps 0–100 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ratio` lies in `[0, 1]`.
+    pub fn sgx_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+        self.sgx_ratio = ratio;
+        self
+    }
+
+    /// Default scheduler for the run (`sgx-binpack`, `sgx-spread` or
+    /// `default`).
+    pub fn scheduler(mut self, name: &str) -> Self {
+        self.scheduler = name.to_string();
+        self
+    }
+
+    /// Overrides each of the two SGX nodes' usable EPC.
+    pub fn epc_size(mut self, usable: ByteSize) -> Self {
+        self.epc_size = Some(usable);
+        self.epc_total = None;
+        self
+    }
+
+    /// Uses the §VI-D simulation cluster: a single SGX node carrying the
+    /// whole simulated EPC (the Fig. 7 sweep labels runs by total EPC).
+    pub fn epc_total(mut self, usable: ByteSize) -> Self {
+        self.epc_total = Some(usable);
+        self.epc_size = None;
+        self
+    }
+
+    /// Enables or disables driver-side EPC limit enforcement (Fig. 11).
+    pub fn limits(mut self, enforce: bool) -> Self {
+        self.enforce_limits = enforce;
+        self
+    }
+
+    /// Injects the Fig. 11 malicious squatters: one pod per SGX node
+    /// declaring 1 EPC page and actually mapping `fraction` of its node's
+    /// EPC.
+    pub fn malicious(mut self, fraction: f64) -> Self {
+        self.malicious = Some(MaliciousConfig::squatting(fraction));
+        self
+    }
+
+    /// The prepared (sliced/sampled/rebased) trace this experiment replays.
+    pub fn prepared_trace(&self) -> Trace {
+        match self.preset {
+            TracePreset::Quick => GeneratorConfig::small(self.seed).generate(),
+            TracePreset::PaperReplay => {
+                let raw = GeneratorConfig::replay_scale(self.seed).generate_sampled(1200);
+                TracePipeline::paper().sample_every(1).prepare(&raw)
+            }
+        }
+    }
+
+    /// The materialised workload (trace × SGX designation × multipliers).
+    pub fn workload(&self) -> Workload {
+        let trace = self.prepared_trace();
+        Workload::materialize(&trace, &WorkloadParams::paper(self.sgx_ratio, self.seed))
+    }
+
+    /// The replay configuration this experiment uses.
+    pub fn replay_config(&self) -> ReplayConfig {
+        let cluster = match (self.epc_size, self.epc_total) {
+            (Some(usable), _) => ClusterSpec::paper_cluster_with_epc(usable),
+            (None, Some(total)) => ClusterSpec::sim_cluster_with_total_epc(total),
+            (None, None) => ClusterSpec::paper_cluster(),
+        };
+        let mut config = ReplayConfig::paper(self.seed)
+            .with_cluster(cluster)
+            .with_scheduler(&self.scheduler);
+        if !self.enforce_limits {
+            config = config.without_limits();
+        }
+        if let Some(mal) = self.malicious {
+            config = config.with_malicious(mal);
+        }
+        config
+    }
+
+    /// Runs the experiment.
+    pub fn run(&self) -> ReplayResult {
+        replay(&self.workload(), &self.replay_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_trace::JobKind;
+
+    #[test]
+    fn quick_experiment_runs() {
+        let result = Experiment::quick(1).run();
+        assert!(!result.timed_out());
+        assert!(result.completed_count() > 0);
+    }
+
+    #[test]
+    fn sgx_ratio_controls_workload_mix() {
+        let none = Experiment::quick(2).sgx_ratio(0.0).workload();
+        assert_eq!(none.sgx_count(), 0);
+        let all = Experiment::quick(2).sgx_ratio(1.0).workload();
+        assert_eq!(all.sgx_count(), all.len());
+        let half = Experiment::quick(2).sgx_ratio(0.5).workload();
+        let ratio = half.sgx_count() as f64 / half.len() as f64;
+        assert!((ratio - 0.5).abs() < 0.06, "ratio={ratio}");
+        // Same seed → same trace regardless of ratio.
+        assert_eq!(none.len(), all.len());
+    }
+
+    #[test]
+    fn replay_config_reflects_builders() {
+        let exp = Experiment::quick(3)
+            .scheduler(orchestrator::SGX_SPREAD)
+            .epc_size(ByteSize::from_mib(64))
+            .limits(false)
+            .malicious(0.25);
+        let config = exp.replay_config();
+        assert_eq!(config.orchestrator.default_scheduler, orchestrator::SGX_SPREAD);
+        assert!(!config.enforce_limits);
+        assert_eq!(config.malicious.unwrap().fraction, 0.25);
+        let cluster = cluster::topology::Cluster::build(&config.cluster);
+        assert_eq!(cluster.total_epc(), ByteSize::from_mib(128));
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let a = Experiment::quick(4).sgx_ratio(1.0).run();
+        let b = Experiment::quick(4).sgx_ratio(1.0).run();
+        assert_eq!(a.runs(), b.runs());
+    }
+
+    #[test]
+    fn workload_has_both_kinds_at_half_ratio() {
+        let w = Experiment::quick(5).sgx_ratio(0.5).workload();
+        assert!(w.iter().any(|j| j.kind == JobKind::Sgx));
+        assert!(w.iter().any(|j| j.kind == JobKind::Standard));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_panics() {
+        let _ = Experiment::quick(0).sgx_ratio(2.0);
+    }
+}

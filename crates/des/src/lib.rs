@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the foundation of the `sgx-orchestrator` reproduction: every
+//! higher layer (the simulated SGX driver, the cluster, the scheduler, the
+//! trace replay) is driven by the virtual clock and event queue defined here,
+//! so a multi-hour cluster replay executes in milliseconds and is exactly
+//! reproducible from a seed.
+//!
+//! The kernel is intentionally small and dependency-light:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`EventQueue`] — a priority queue with deterministic FIFO tie-breaking.
+//! * [`rng`] — seeded random streams ([`rng::seeded_rng`]) plus the few
+//!   distributions the workload model needs (the approved `rand` crate does
+//!   not bundle `rand_distr`, so Gaussian sampling is implemented here).
+//! * [`stats`] — empirical CDFs, Welford summaries, 95 % confidence
+//!   intervals and time-series samplers used by the figure harnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use des::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(SimTime::from_secs(10), "job-finished");
+//! queue.schedule(SimTime::from_secs(5), "probe-tick");
+//!
+//! let (t, event) = queue.pop().unwrap();
+//! assert_eq!(t, SimTime::from_secs(5));
+//! assert_eq!(event, "probe-tick");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod time;
+
+pub mod rng;
+pub mod stats;
+
+pub use event::EventQueue;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,239 @@
+//! Cluster event stream — the analogue of `kubectl get events`.
+//!
+//! Every consequential orchestrator action appends an event: submissions,
+//! scheduling decisions, driver denials, completions, migrations, node
+//! lifecycle. The stream is what an operator (or a test) reads to
+//! understand *why* the cluster is in its current state; the paper's
+//! own debugging of denied pods (§VI-F) is exactly this kind of trail.
+
+use serde::{Deserialize, Serialize};
+
+use cluster::api::{NodeName, PodUid};
+use des::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A pod entered the pending queue.
+    Submitted {
+        /// The pod.
+        uid: PodUid,
+    },
+    /// A pod's requests exceed every node; it will never run.
+    Unschedulable {
+        /// The pod.
+        uid: PodUid,
+    },
+    /// The scheduler bound a pod to a node and its containers started.
+    Scheduled {
+        /// The pod.
+        uid: PodUid,
+        /// The chosen node.
+        node: NodeName,
+    },
+    /// The driver killed the pod at enclave initialisation (§V-D).
+    DeniedAtInit {
+        /// The pod.
+        uid: PodUid,
+        /// Where the launch was attempted.
+        node: NodeName,
+    },
+    /// The pod finished its work and died.
+    Completed {
+        /// The pod.
+        uid: PodUid,
+        /// Where it ran.
+        node: NodeName,
+    },
+    /// A live migration moved the pod (§VIII).
+    Migrated {
+        /// The pod.
+        uid: PodUid,
+        /// Source node.
+        from: NodeName,
+        /// Target node.
+        to: NodeName,
+    },
+    /// A node was cordoned (drain or crash).
+    NodeCordoned {
+        /// The node.
+        node: NodeName,
+    },
+    /// A node was un-cordoned (drain finished or crash recovered).
+    NodeUncordoned {
+        /// The node.
+        node: NodeName,
+    },
+    /// A node crashed, losing `pods` pods (each re-queued).
+    NodeFailed {
+        /// The node.
+        node: NodeName,
+        /// Number of pods lost and re-queued.
+        pods: usize,
+    },
+}
+
+/// One timestamped entry of the event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl ClusterEvent {
+    /// The pod this event concerns, if any.
+    pub fn pod(&self) -> Option<PodUid> {
+        match &self.kind {
+            EventKind::Submitted { uid }
+            | EventKind::Unschedulable { uid }
+            | EventKind::Scheduled { uid, .. }
+            | EventKind::DeniedAtInit { uid, .. }
+            | EventKind::Completed { uid, .. }
+            | EventKind::Migrated { uid, .. } => Some(*uid),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ", self.at)?;
+        match &self.kind {
+            EventKind::Submitted { uid } => write!(f, "{uid} submitted"),
+            EventKind::Unschedulable { uid } => {
+                write!(f, "{uid} unschedulable: requests exceed every node")
+            }
+            EventKind::Scheduled { uid, node } => write!(f, "{uid} scheduled onto {node}"),
+            EventKind::DeniedAtInit { uid, node } => {
+                write!(f, "{uid} killed at enclave init on {node} (EPC limit)")
+            }
+            EventKind::Completed { uid, node } => write!(f, "{uid} completed on {node}"),
+            EventKind::Migrated { uid, from, to } => {
+                write!(f, "{uid} migrated {from} -> {to}")
+            }
+            EventKind::NodeCordoned { node } => write!(f, "node {node} cordoned"),
+            EventKind::NodeUncordoned { node } => write!(f, "node {node} uncordoned"),
+            EventKind::NodeFailed { node, pods } => {
+                write!(f, "node {node} failed; {pods} pods re-queued")
+            }
+        }
+    }
+}
+
+/// The bounded event log (oldest entries are dropped past the cap, like a
+/// real API server's event TTL).
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: std::collections::VecDeque<ClusterEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ClusterEvent { at, kind });
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &ClusterEvent> {
+        self.events.iter()
+    }
+
+    /// Events concerning one pod, oldest first.
+    pub fn for_pod(&self, uid: PodUid) -> impl Iterator<Item = &ClusterEvent> {
+        self.events.iter().filter(move |e| e.pod() == Some(uid))
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_caps_and_counts_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5 {
+            log.record(
+                SimTime::from_secs(i),
+                EventKind::Submitted { uid: PodUid::new(i) },
+            );
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let first = log.iter().next().unwrap();
+        assert_eq!(first.at, SimTime::from_secs(2)); // 0 and 1 evicted
+    }
+
+    #[test]
+    fn per_pod_filter() {
+        let mut log = EventLog::with_capacity(10);
+        let uid = PodUid::new(7);
+        log.record(SimTime::ZERO, EventKind::Submitted { uid });
+        log.record(
+            SimTime::from_secs(1),
+            EventKind::NodeCordoned { node: NodeName::new("n") },
+        );
+        log.record(
+            SimTime::from_secs(2),
+            EventKind::Scheduled { uid, node: NodeName::new("n") },
+        );
+        assert_eq!(log.for_pod(uid).count(), 2);
+        assert_eq!(log.for_pod(PodUid::new(8)).count(), 0);
+    }
+
+    #[test]
+    fn events_display() {
+        let e = ClusterEvent {
+            at: SimTime::from_secs(5),
+            kind: EventKind::Migrated {
+                uid: PodUid::new(1),
+                from: NodeName::new("a"),
+                to: NodeName::new("b"),
+            },
+        };
+        assert_eq!(e.to_string(), "t+5.0s pod-1 migrated a -> b");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventLog::with_capacity(0);
+    }
+}

@@ -1,0 +1,57 @@
+//! The SGX-aware container orchestrator — the paper's primary
+//! contribution (§IV–§V).
+//!
+//! The orchestrator sits on the master node. Users submit pod
+//! specifications (§IV step Ê); submissions land in a persistent FCFS
+//! [`queue`]; a periodic scheduling pass fetches the pending jobs,
+//! combines their declared requests with **measured** usage from the
+//! time-series database ([`metrics`], the Listing 1 sliding-window query),
+//! filters infeasible job–node combinations, applies a placement
+//! [`policy`] (binpack or spread, both SGX-aware), and binds pods to nodes
+//! where the Kubelet starts them.
+//!
+//! Three [`scheduler`]s are provided, mirroring the paper's deployment of
+//! multiple schedulers side by side (§V-B):
+//!
+//! | name          | filter basis                   | policy            |
+//! |---------------|--------------------------------|-------------------|
+//! | `sgx-binpack` | measured usage ∨ requests      | binpack, SGX-aware|
+//! | `sgx-spread`  | measured usage ∨ requests      | spread, SGX-aware |
+//! | `default`     | requests only (stock behaviour)| least-requested   |
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::api::PodSpec;
+//! use cluster::topology::ClusterSpec;
+//! use des::SimTime;
+//! use orchestrator::{Orchestrator, OrchestratorConfig};
+//! use sgx_sim::units::ByteSize;
+//!
+//! let mut orch = Orchestrator::new(ClusterSpec::paper_cluster(), OrchestratorConfig::paper());
+//! let uid = orch.submit(
+//!     PodSpec::builder("job").sgx_resources(ByteSize::from_mib(16)).build(),
+//!     SimTime::ZERO,
+//! );
+//! let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+//! assert_eq!(outcomes.len(), 1);
+//! assert!(outcomes[0].report.started());
+//! # let _ = uid;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod events;
+pub mod metrics;
+pub mod policy;
+pub mod queue;
+pub mod scheduler;
+
+mod server;
+
+pub use policy::PlacementPolicy;
+pub use queue::{PendingPod, PendingQueue};
+pub use scheduler::{SchedulerKind, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};
+pub use server::{BindOutcome, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord};

@@ -1,0 +1,376 @@
+//! The scheduler's window onto cluster state.
+//!
+//! A [`ClusterView`] snapshot combines, per node:
+//!
+//! * static capacity (allocatable memory; EPC pages from the device
+//!   plugin),
+//! * *requests* accounting (what bound pods reserved), and
+//! * *measured* usage from the time-series database over the paper's 25 s
+//!   sliding window (Listing 1 for EPC; the analogous query for memory).
+//!
+//! The SGX-aware schedulers treat a node's occupancy as the **maximum of
+//! measured usage and reserved requests**: requests protect very recent
+//! bindings the probes have not reported yet, while measurements catch
+//! pods using more than they declared (the Fig. 11 attack).
+
+use std::collections::BTreeMap;
+
+use cluster::api::{NodeName, PodSpec};
+use cluster::probe::{MEASUREMENT_EPC, MEASUREMENT_MEMORY};
+use cluster::topology::Cluster;
+use des::{SimDuration, SimTime};
+use sgx_sim::units::{ByteSize, EpcPages};
+use tsdb::{Aggregate, Database, Predicate, Select, TimeBound};
+
+/// Capacity and occupancy of one node, as the scheduler sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeView {
+    /// Total allocatable ordinary memory.
+    pub memory_capacity: ByteSize,
+    /// Total allocatable EPC pages (zero on non-SGX nodes).
+    pub epc_capacity: EpcPages,
+    /// Memory requested by pods bound to the node.
+    pub memory_requested: ByteSize,
+    /// EPC pages requested by pods bound to the node.
+    pub epc_requested: EpcPages,
+    /// Memory usage measured over the sliding window.
+    pub memory_measured: ByteSize,
+    /// EPC usage measured over the sliding window.
+    pub epc_measured: ByteSize,
+}
+
+impl NodeView {
+    /// `true` when the node can run SGX pods at all.
+    pub fn has_sgx(&self) -> bool {
+        !self.epc_capacity.is_zero()
+    }
+
+    /// Effective memory occupancy: `max(measured, requested)`.
+    pub fn memory_occupied(&self) -> ByteSize {
+        self.memory_measured.max(self.memory_requested)
+    }
+
+    /// Effective EPC occupancy in pages: `max(measured, requested)`.
+    pub fn epc_occupied(&self) -> EpcPages {
+        self.epc_measured.to_epc_pages_ceil().max(self.epc_requested)
+    }
+
+    /// Memory still considered free by the SGX-aware schedulers.
+    pub fn memory_free(&self) -> ByteSize {
+        self.memory_capacity.saturating_sub(self.memory_occupied())
+    }
+
+    /// EPC pages still considered free by the SGX-aware schedulers.
+    pub fn epc_free(&self) -> EpcPages {
+        self.epc_capacity.saturating_sub(self.epc_occupied())
+    }
+
+    /// Whether a pod's requests fit in the free capacity.
+    pub fn fits(&self, spec: &PodSpec) -> bool {
+        let req = spec.resources.requests;
+        req.memory <= self.memory_free()
+            && req.epc_pages <= self.epc_free()
+            && (!req.needs_sgx() || self.has_sgx())
+    }
+
+    /// Whether a pod's requests fit going by requests alone (the stock
+    /// Kubernetes criterion, used by the `default` scheduler).
+    pub fn fits_by_requests(&self, spec: &PodSpec) -> bool {
+        let req = spec.resources.requests;
+        req.memory <= self.memory_capacity.saturating_sub(self.memory_requested)
+            && req.epc_pages <= self.epc_capacity.saturating_sub(self.epc_requested)
+            && (!req.needs_sgx() || self.has_sgx())
+    }
+
+    /// Fractional load of the resource a pod primarily consumes, after
+    /// hypothetically placing `extra` requests here — the quantity the
+    /// spread policy balances.
+    pub fn load_fraction_after(&self, spec: &PodSpec, placed_here: bool) -> f64 {
+        let req = spec.resources.requests;
+        if req.needs_sgx() {
+            let cap = self.epc_capacity.count();
+            if cap == 0 {
+                return 1.0;
+            }
+            let mut occupied = self.epc_occupied().count();
+            if placed_here {
+                occupied += req.epc_pages.count();
+            }
+            occupied as f64 / cap as f64
+        } else {
+            let cap = self.memory_capacity.as_bytes();
+            if cap == 0 {
+                return 1.0;
+            }
+            let mut occupied = self.memory_occupied().as_bytes();
+            if placed_here {
+                occupied += req.memory.as_bytes();
+            }
+            occupied as f64 / cap as f64
+        }
+    }
+
+    /// Registers an in-pass reservation so later pods of the same
+    /// scheduling pass see the node as fuller.
+    pub fn reserve(&mut self, spec: &PodSpec) {
+        let req = spec.resources.requests;
+        self.memory_requested += req.memory;
+        self.epc_requested += req.epc_pages;
+    }
+}
+
+/// Snapshot of every schedulable node, taken once per scheduling pass.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterView {
+    nodes: BTreeMap<NodeName, NodeView>,
+}
+
+impl ClusterView {
+    /// Builds the view: capacities and requests from the cluster, measured
+    /// usage from sliding-window queries against the database.
+    pub fn capture(
+        cluster: &Cluster,
+        db: &Database,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Self {
+        let epc_measured = Self::measured(db, MEASUREMENT_EPC, now, window);
+        let mem_measured = Self::measured(db, MEASUREMENT_MEMORY, now, window);
+
+        let nodes = cluster
+            .schedulable_nodes()
+            .map(|node| {
+                let name = node.name().clone();
+                let view = NodeView {
+                    memory_capacity: node.allocatable_memory(),
+                    epc_capacity: node.allocatable_epc(),
+                    memory_requested: node.memory_requested(),
+                    epc_requested: node.epc_requested(),
+                    memory_measured: mem_measured
+                        .get(name.as_str())
+                        .copied()
+                        .unwrap_or(ByteSize::ZERO),
+                    epc_measured: epc_measured
+                        .get(name.as_str())
+                        .copied()
+                        .unwrap_or(ByteSize::ZERO),
+                };
+                (name, view)
+            })
+            .collect();
+        ClusterView { nodes }
+    }
+
+    /// Executes the Listing 1 aggregation for one measurement: per-pod MAX
+    /// over the window, summed per node.
+    fn measured(
+        db: &Database,
+        measurement: &str,
+        now: SimTime,
+        window: SimDuration,
+    ) -> BTreeMap<String, ByteSize> {
+        let per_pod = Select::from_measurement(measurement)
+            .aggregate(Aggregate::Max)
+            .filter(Predicate::ValueNe(0.0))
+            .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(window)))
+            .group_by(["pod_name", "nodename"]);
+        let per_node = Select::from_subquery(per_pod)
+            .aggregate(Aggregate::Sum)
+            .group_by(["nodename"]);
+        db.query(&per_node, now)
+            .into_iter()
+            .filter_map(|row| {
+                let node = row.tag("nodename")?.to_string();
+                Some((node, ByteSize::from_bytes(row.value.max(0.0) as u64)))
+            })
+            .collect()
+    }
+
+    /// The per-node views, in node-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeName, &NodeView)> {
+        self.nodes.iter()
+    }
+
+    /// One node's view.
+    pub fn node(&self, name: &NodeName) -> Option<&NodeView> {
+        self.nodes.get(name)
+    }
+
+    /// One node's view, mutably (for in-pass reservations).
+    pub fn node_mut(&mut self, name: &NodeName) -> Option<&mut NodeView> {
+        self.nodes.get_mut(name)
+    }
+
+    /// Number of nodes in the view.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes are schedulable.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `true` when no node could *ever* fit the pod's requests, even
+    /// completely empty — such pods are permanently unschedulable.
+    pub fn permanently_unschedulable(&self, spec: &PodSpec) -> bool {
+        let req = spec.resources.requests;
+        !self.nodes.values().any(|v| {
+            req.memory <= v.memory_capacity
+                && req.epc_pages <= v.epc_capacity
+                && (!req.needs_sgx() || v.has_sgx())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::api::PodUid;
+    use cluster::topology::ClusterSpec;
+    use des::rng::seeded_rng;
+    use tsdb::Point;
+
+    fn paper_view(db: &Database, cluster: &Cluster, now: SimTime) -> ClusterView {
+        ClusterView::capture(cluster, db, now, SimDuration::from_secs(25))
+    }
+
+    #[test]
+    fn capture_reads_capacities() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let db = Database::new();
+        let view = paper_view(&db, &cluster, SimTime::ZERO);
+        assert_eq!(view.len(), 4);
+        let sgx = view.node(&NodeName::new("sgx-1")).unwrap();
+        assert!(sgx.has_sgx());
+        assert_eq!(sgx.epc_capacity, EpcPages::new(23_936));
+        assert_eq!(sgx.memory_capacity, ByteSize::from_gib(8));
+        let std = view.node(&NodeName::new("std-1")).unwrap();
+        assert!(!std.has_sgx());
+        assert_eq!(std.memory_capacity, ByteSize::from_gib(64));
+    }
+
+    #[test]
+    fn measured_usage_flows_from_db() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let mut db = Database::new();
+        db.insert(
+            Point::new(MEASUREMENT_EPC, SimTime::from_secs(90), 1e6)
+                .with_tag("pod_name", "pod-1")
+                .with_tag("nodename", "sgx-1"),
+        );
+        // A stale point outside the window must be ignored.
+        db.insert(
+            Point::new(MEASUREMENT_EPC, SimTime::from_secs(10), 5e7)
+                .with_tag("pod_name", "pod-0")
+                .with_tag("nodename", "sgx-1"),
+        );
+        let view = paper_view(&db, &cluster, SimTime::from_secs(100));
+        let sgx = view.node(&NodeName::new("sgx-1")).unwrap();
+        assert_eq!(sgx.epc_measured, ByteSize::from_bytes(1_000_000));
+        assert_eq!(view.node(&NodeName::new("sgx-2")).unwrap().epc_measured, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn occupancy_is_max_of_measured_and_requested() {
+        let mut v = NodeView {
+            memory_capacity: ByteSize::from_gib(8),
+            epc_capacity: EpcPages::new(1000),
+            epc_requested: EpcPages::new(100),
+            epc_measured: EpcPages::new(300).to_bytes(),
+            ..NodeView::default()
+        };
+        assert_eq!(v.epc_occupied(), EpcPages::new(300)); // measured wins
+        v.epc_requested = EpcPages::new(500);
+        assert_eq!(v.epc_occupied(), EpcPages::new(500)); // requested wins
+        assert_eq!(v.epc_free(), EpcPages::new(500));
+    }
+
+    #[test]
+    fn fits_checks_all_constraints() {
+        let view = NodeView {
+            memory_capacity: ByteSize::from_gib(8),
+            epc_capacity: EpcPages::new(1000),
+            ..NodeView::default()
+        };
+        let sgx_pod = PodSpec::builder("s")
+            .sgx_resources(EpcPages::new(500).to_bytes())
+            .build();
+        assert!(view.fits(&sgx_pod));
+        let big_sgx = PodSpec::builder("b")
+            .sgx_resources(EpcPages::new(2000).to_bytes())
+            .build();
+        assert!(!view.fits(&big_sgx));
+        let non_sgx_view = NodeView {
+            memory_capacity: ByteSize::from_gib(64),
+            ..NodeView::default()
+        };
+        assert!(!non_sgx_view.fits(&sgx_pod));
+        assert!(!non_sgx_view.fits_by_requests(&sgx_pod));
+    }
+
+    #[test]
+    fn reservations_shrink_free_capacity_within_a_pass() {
+        let mut view = NodeView {
+            memory_capacity: ByteSize::from_gib(8),
+            epc_capacity: EpcPages::new(1000),
+            ..NodeView::default()
+        };
+        let pod = PodSpec::builder("p")
+            .sgx_resources(EpcPages::new(600).to_bytes())
+            .build();
+        assert!(view.fits(&pod));
+        view.reserve(&pod);
+        assert!(!view.fits(&pod));
+        assert_eq!(view.epc_free(), EpcPages::new(400));
+    }
+
+    #[test]
+    fn load_fraction_uses_primary_resource() {
+        let view = NodeView {
+            memory_capacity: ByteSize::from_gib(10),
+            epc_capacity: EpcPages::new(1000),
+            memory_requested: ByteSize::from_gib(5),
+            epc_requested: EpcPages::new(250),
+            ..NodeView::default()
+        };
+        let sgx_pod = PodSpec::builder("s")
+            .sgx_resources(EpcPages::new(250).to_bytes())
+            .build();
+        assert!((view.load_fraction_after(&sgx_pod, false) - 0.25).abs() < 1e-9);
+        assert!((view.load_fraction_after(&sgx_pod, true) - 0.5).abs() < 1e-9);
+        let std_pod = PodSpec::builder("m")
+            .memory_resources(ByteSize::from_gib(1))
+            .build();
+        assert!((view.load_fraction_after(&std_pod, false) - 0.5).abs() < 1e-9);
+        assert!((view.load_fraction_after(&std_pod, true) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unschedulable_detection() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let db = Database::new();
+        let view = paper_view(&db, &cluster, SimTime::ZERO);
+        // 100 MiB of EPC fits nowhere (capacity 93.5 MiB per node).
+        let monster = PodSpec::builder("m")
+            .sgx_resources(ByteSize::from_mib(100))
+            .build();
+        assert!(view.permanently_unschedulable(&monster));
+        let ok = PodSpec::builder("ok")
+            .sgx_resources(ByteSize::from_mib(50))
+            .build();
+        assert!(!view.permanently_unschedulable(&ok));
+        // A 100 GiB memory pod exceeds every node.
+        let huge_mem = PodSpec::builder("h")
+            .memory_resources(ByteSize::from_gib(100))
+            .build();
+        assert!(view.permanently_unschedulable(&huge_mem));
+    }
+
+    // Keep rand linked for the dev-dependency graph.
+    #[test]
+    fn rng_helper_available() {
+        let _ = seeded_rng(0);
+        let _ = PodUid::new(0);
+    }
+}

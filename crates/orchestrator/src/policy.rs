@@ -1,0 +1,225 @@
+//! SGX-aware placement policies: binpack and spread (§IV).
+//!
+//! Both policies place standard jobs on non-SGX nodes whenever possible,
+//! "to preserve their resources for SGX-enabled jobs" — SGX nodes are a
+//! fallback of last resort for standard work. The policies only differ in
+//! how they choose among feasible nodes:
+//!
+//! * **binpack** — walk the nodes in a fixed, consistent order and fill
+//!   the first node until its resources become insufficient, then advance.
+//! * **spread** — pick the placement that yields the smallest standard
+//!   deviation of load across the candidate nodes.
+
+use serde::{Deserialize, Serialize};
+
+use cluster::api::{NodeName, PodSpec};
+
+use crate::metrics::ClusterView;
+
+/// The two SGX-aware placement strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Fill nodes one after another in a consistent order.
+    Binpack,
+    /// Even out load across nodes.
+    Spread,
+}
+
+impl std::fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementPolicy::Binpack => f.write_str("binpack"),
+            PlacementPolicy::Spread => f.write_str("spread"),
+        }
+    }
+}
+
+impl PlacementPolicy {
+    /// Chooses a node for `spec` from the view, or `None` when nothing
+    /// fits right now.
+    ///
+    /// SGX-awareness: for standard pods the candidate list is partitioned
+    /// into non-SGX nodes first and SGX nodes last (binpack) or considered
+    /// non-SGX-only unless none fit (spread).
+    pub fn place(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
+        match self {
+            PlacementPolicy::Binpack => self.place_binpack(spec, view),
+            PlacementPolicy::Spread => self.place_spread(spec, view),
+        }
+    }
+
+    fn place_binpack(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
+        // Consistent node order: non-SGX nodes (by name) before SGX nodes
+        // (by name); the view iterates in name order already.
+        let (sgx_nodes, standard_nodes): (Vec<_>, Vec<_>) =
+            view.iter().partition(|(_, v)| v.has_sgx());
+        standard_nodes
+            .into_iter()
+            .chain(sgx_nodes)
+            .find(|(_, v)| v.fits(spec))
+            .map(|(name, _)| name.clone())
+    }
+
+    fn place_spread(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
+        // Candidate tiers: for standard pods, try non-SGX nodes first and
+        // fall back to SGX nodes only when no other choice exists. SGX
+        // pods have a single tier (SGX nodes).
+        let tiers: [Vec<(&NodeName, &crate::metrics::NodeView)>; 2] = if spec.needs_sgx() {
+            [view.iter().filter(|(_, v)| v.has_sgx()).collect(), Vec::new()]
+        } else {
+            let (sgx, standard): (Vec<_>, Vec<_>) = view.iter().partition(|(_, v)| v.has_sgx());
+            [standard, sgx]
+        };
+
+        for tier in tiers {
+            let feasible: Vec<_> = tier
+                .iter()
+                .filter(|(_, v)| v.fits(spec))
+                .collect();
+            if feasible.is_empty() {
+                continue;
+            }
+            // For each feasible node, the stddev of load across the whole
+            // tier if the pod were placed there; smallest wins, ties by
+            // node name (deterministic).
+            let best = feasible.iter().min_by(|a, b| {
+                let sa = load_stddev_with_placement(&tier, a.0, spec);
+                let sb = load_stddev_with_placement(&tier, b.0, spec);
+                sa.partial_cmp(&sb)
+                    .expect("loads are finite")
+                    .then_with(|| a.0.cmp(b.0))
+            });
+            if let Some((name, _)) = best {
+                return Some((*name).clone());
+            }
+        }
+        None
+    }
+}
+
+fn load_stddev_with_placement(
+    tier: &[(&NodeName, &crate::metrics::NodeView)],
+    chosen: &NodeName,
+    spec: &PodSpec,
+) -> f64 {
+    let loads: Vec<f64> = tier
+        .iter()
+        .map(|(name, v)| v.load_fraction_after(spec, *name == chosen))
+        .collect();
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    (loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / loads.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::topology::{Cluster, ClusterSpec};
+    use des::{SimDuration, SimTime};
+    use sgx_sim::units::ByteSize;
+    use tsdb::Database;
+
+    fn empty_view() -> ClusterView {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        ClusterView::capture(
+            &cluster,
+            &Database::new(),
+            SimTime::ZERO,
+            SimDuration::from_secs(25),
+        )
+    }
+
+    fn sgx_pod(mib: u64) -> PodSpec {
+        PodSpec::builder(format!("sgx{mib}"))
+            .sgx_resources(ByteSize::from_mib(mib))
+            .build()
+    }
+
+    fn std_pod(gib: u64) -> PodSpec {
+        PodSpec::builder(format!("std{gib}"))
+            .memory_resources(ByteSize::from_gib(gib))
+            .build()
+    }
+
+    #[test]
+    fn binpack_fills_first_node_first() {
+        let mut view = empty_view();
+        let pod = sgx_pod(30);
+        // First placement goes to sgx-1 and stays there until full.
+        for _ in 0..3 {
+            let chosen = PlacementPolicy::Binpack.place(&pod, &view).unwrap();
+            assert_eq!(chosen.as_str(), "sgx-1");
+            view.node_mut(&chosen).unwrap().reserve(&pod);
+        }
+        // 90 of 93.5 MiB used: the fourth 30 MiB pod spills to sgx-2.
+        let chosen = PlacementPolicy::Binpack.place(&pod, &view).unwrap();
+        assert_eq!(chosen.as_str(), "sgx-2");
+    }
+
+    #[test]
+    fn binpack_sends_standard_pods_to_standard_nodes_first() {
+        let view = empty_view();
+        let chosen = PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap();
+        assert_eq!(chosen.as_str(), "std-1");
+    }
+
+    #[test]
+    fn binpack_standard_pod_falls_back_to_sgx_node_when_needed() {
+        let mut view = empty_view();
+        // Fill both standard nodes completely.
+        for name in ["std-1", "std-2"] {
+            let node = NodeName::new(name);
+            view.node_mut(&node).unwrap().reserve(&std_pod(64));
+        }
+        // A 4 GiB pod now only fits on the 8 GiB SGX machines.
+        let chosen = PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap();
+        assert_eq!(chosen.as_str(), "sgx-1");
+    }
+
+    #[test]
+    fn spread_balances_sgx_load() {
+        let mut view = empty_view();
+        let pod = sgx_pod(20);
+        let first = PlacementPolicy::Spread.place(&pod, &view).unwrap();
+        view.node_mut(&first).unwrap().reserve(&pod);
+        let second = PlacementPolicy::Spread.place(&pod, &view).unwrap();
+        assert_ne!(first, second, "spread should alternate across SGX nodes");
+    }
+
+    #[test]
+    fn spread_avoids_sgx_nodes_for_standard_pods() {
+        let mut view = empty_view();
+        let pod = std_pod(2);
+        for _ in 0..10 {
+            let chosen = PlacementPolicy::Spread.place(&pod, &view).unwrap();
+            assert!(chosen.as_str().starts_with("std"));
+            view.node_mut(&chosen).unwrap().reserve(&pod);
+        }
+    }
+
+    #[test]
+    fn spread_falls_back_to_sgx_tier() {
+        let mut view = empty_view();
+        for name in ["std-1", "std-2"] {
+            view.node_mut(&NodeName::new(name)).unwrap().reserve(&std_pod(64));
+        }
+        let chosen = PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap();
+        assert!(chosen.as_str().starts_with("sgx"));
+    }
+
+    #[test]
+    fn no_fit_returns_none() {
+        let view = empty_view();
+        // Larger than any node's EPC.
+        assert_eq!(PlacementPolicy::Binpack.place(&sgx_pod(100), &view), None);
+        assert_eq!(PlacementPolicy::Spread.place(&sgx_pod(100), &view), None);
+        // Larger than any node's memory.
+        assert_eq!(PlacementPolicy::Binpack.place(&std_pod(100), &view), None);
+        assert_eq!(PlacementPolicy::Spread.place(&std_pod(100), &view), None);
+    }
+
+    #[test]
+    fn policies_display() {
+        assert_eq!(PlacementPolicy::Binpack.to_string(), "binpack");
+        assert_eq!(PlacementPolicy::Spread.to_string(), "spread");
+    }
+}

@@ -1,0 +1,176 @@
+//! The persistent FCFS pending queue (§IV, step Ì).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use cluster::api::{PodSpec, PodUid};
+use des::SimTime;
+use sgx_sim::units::{ByteSize, EpcPages};
+
+/// A submitted pod waiting for placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingPod {
+    /// The pod's uid.
+    pub uid: PodUid,
+    /// Its specification.
+    pub spec: PodSpec,
+    /// When it entered the queue.
+    pub submitted_at: SimTime,
+}
+
+/// First-come-first-served queue of pending pods.
+///
+/// The scheduler periodically walks the queue in submission order; pods it
+/// cannot place yet stay queued (FCFS is a *priority*, not head-of-line
+/// blocking — a small later job may start while a large earlier one
+/// waits for capacity).
+///
+/// # Examples
+///
+/// ```
+/// use cluster::api::{PodSpec, PodUid};
+/// use des::SimTime;
+/// use orchestrator::PendingQueue;
+/// use sgx_sim::units::ByteSize;
+///
+/// let mut queue = PendingQueue::new();
+/// let spec = PodSpec::builder("a").memory_resources(ByteSize::from_mib(64)).build();
+/// queue.enqueue(PodUid::new(1), spec, SimTime::ZERO);
+/// assert_eq!(queue.len(), 1);
+/// queue.remove(PodUid::new(1));
+/// assert!(queue.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PendingQueue {
+    pods: VecDeque<PendingPod>,
+}
+
+impl PendingQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        PendingQueue::default()
+    }
+
+    /// Appends a pod (FCFS position = submission order).
+    pub fn enqueue(&mut self, uid: PodUid, spec: PodSpec, submitted_at: SimTime) {
+        debug_assert!(
+            self.pods.iter().all(|p| p.uid != uid),
+            "pod {uid} enqueued twice"
+        );
+        self.pods.push_back(PendingPod {
+            uid,
+            spec,
+            submitted_at,
+        });
+    }
+
+    /// Removes a pod (after it was bound or rejected). Returns it, or
+    /// `None` if absent.
+    pub fn remove(&mut self, uid: PodUid) -> Option<PendingPod> {
+        let idx = self.pods.iter().position(|p| p.uid == uid)?;
+        self.pods.remove(idx)
+    }
+
+    /// The pods in FCFS order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingPod> {
+        self.pods.iter()
+    }
+
+    /// A snapshot of the queue in FCFS order (the "list of pending jobs"
+    /// the scheduler fetches each pass).
+    pub fn snapshot(&self) -> Vec<PendingPod> {
+        self.pods.iter().cloned().collect()
+    }
+
+    /// Number of pending pods.
+    pub fn len(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pods.is_empty()
+    }
+
+    /// Total EPC pages requested by pending pods — the y-axis of Fig. 7.
+    pub fn epc_requested(&self) -> EpcPages {
+        self.pods
+            .iter()
+            .map(|p| p.spec.resources.requests.epc_pages)
+            .sum()
+    }
+
+    /// Total ordinary memory requested by pending pods.
+    pub fn memory_requested(&self) -> ByteSize {
+        self.pods
+            .iter()
+            .map(|p| p.spec.resources.requests.memory)
+            .sum()
+    }
+
+    /// Age of the oldest pending pod at `now`, if any.
+    pub fn oldest_wait(&self, now: SimTime) -> Option<des::SimDuration> {
+        self.pods
+            .front()
+            .map(|p| now.saturating_since(p.submitted_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(mib: u64) -> PodSpec {
+        PodSpec::builder(format!("p{mib}"))
+            .sgx_resources(ByteSize::from_mib(mib))
+            .build()
+    }
+
+    #[test]
+    fn fcfs_order_is_preserved() {
+        let mut q = PendingQueue::new();
+        for i in 0..5 {
+            q.enqueue(PodUid::new(i), spec(1), SimTime::from_secs(i));
+        }
+        let order: Vec<u64> = q.iter().map(|p| p.uid.as_u64()).collect();
+        assert_eq!(order, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_from_middle_keeps_order() {
+        let mut q = PendingQueue::new();
+        for i in 0..4 {
+            q.enqueue(PodUid::new(i), spec(1), SimTime::ZERO);
+        }
+        let removed = q.remove(PodUid::new(2)).unwrap();
+        assert_eq!(removed.uid, PodUid::new(2));
+        assert_eq!(q.remove(PodUid::new(2)), None);
+        let order: Vec<u64> = q.iter().map(|p| p.uid.as_u64()).collect();
+        assert_eq!(order, [0, 1, 3]);
+    }
+
+    #[test]
+    fn aggregates_for_fig7() {
+        let mut q = PendingQueue::new();
+        q.enqueue(PodUid::new(1), spec(10), SimTime::from_secs(5));
+        q.enqueue(PodUid::new(2), spec(20), SimTime::from_secs(8));
+        assert_eq!(q.epc_requested(), EpcPages::from_mib_ceil(10) + EpcPages::from_mib_ceil(20));
+        assert_eq!(q.memory_requested(), ByteSize::ZERO);
+        assert_eq!(
+            q.oldest_wait(SimTime::from_secs(15)),
+            Some(des::SimDuration::from_secs(10))
+        );
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let mut q = PendingQueue::new();
+        q.enqueue(PodUid::new(1), spec(1), SimTime::ZERO);
+        let snap = q.snapshot();
+        q.remove(PodUid::new(1));
+        assert_eq!(snap.len(), 1);
+        assert!(q.is_empty());
+        assert_eq!(q.oldest_wait(SimTime::ZERO), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! The schedulers deployed on the cluster (§V-B).
+//!
+//! Kubernetes supports multiple schedulers operating over one cluster;
+//! each pod names the scheduler that should place it. The paper deploys
+//! its SGX-aware scheduler (in either the binpack or the spread variant)
+//! alongside the stock scheduler for comparative benchmarking.
+
+use serde::{Deserialize, Serialize};
+
+use cluster::api::{NodeName, PodSpec};
+
+use crate::metrics::ClusterView;
+use crate::policy::PlacementPolicy;
+
+/// Name under which the SGX-aware binpack scheduler registers.
+pub const SGX_BINPACK: &str = "sgx-binpack";
+/// Name under which the SGX-aware spread scheduler registers.
+pub const SGX_SPREAD: &str = "sgx-spread";
+/// Name of the stock (request-based) scheduler.
+pub const DEFAULT_SCHEDULER: &str = "default";
+
+/// A scheduler available on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's SGX-aware scheduler with a placement policy; filters
+    /// on measured usage combined with requests.
+    SgxAware(PlacementPolicy),
+    /// Kubernetes' stock scheduler: requests-only accounting,
+    /// least-requested spreading, no SGX node ordering.
+    KubeDefault,
+}
+
+impl SchedulerKind {
+    /// The registered name of this scheduler.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::SgxAware(PlacementPolicy::Binpack) => SGX_BINPACK,
+            SchedulerKind::SgxAware(PlacementPolicy::Spread) => SGX_SPREAD,
+            SchedulerKind::KubeDefault => DEFAULT_SCHEDULER,
+        }
+    }
+
+    /// Resolves a scheduler by its registered name.
+    pub fn by_name(name: &str) -> Option<SchedulerKind> {
+        match name {
+            SGX_BINPACK => Some(SchedulerKind::SgxAware(PlacementPolicy::Binpack)),
+            SGX_SPREAD => Some(SchedulerKind::SgxAware(PlacementPolicy::Spread)),
+            DEFAULT_SCHEDULER => Some(SchedulerKind::KubeDefault),
+            _ => None,
+        }
+    }
+
+    /// Picks a node for `spec`, or `None` when nothing fits right now.
+    pub fn place(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
+        match self {
+            SchedulerKind::SgxAware(policy) => policy.place(spec, view),
+            SchedulerKind::KubeDefault => place_least_requested(spec, view),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The stock scheduler: among nodes whose *requests* accounting fits the
+/// pod, pick the least-requested one (by the pod's primary resource).
+/// No SGX-awareness beyond the resource existing at all, and no use of
+/// measured metrics.
+fn place_least_requested(spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
+    view.iter()
+        .filter(|(_, v)| v.fits_by_requests(spec))
+        .min_by(|a, b| {
+            let fa = requested_fraction(a.1, spec);
+            let fb = requested_fraction(b.1, spec);
+            fa.partial_cmp(&fb)
+                .expect("fractions are finite")
+                .then_with(|| a.0.cmp(b.0))
+        })
+        .map(|(name, _)| name.clone())
+}
+
+fn requested_fraction(view: &crate::metrics::NodeView, spec: &PodSpec) -> f64 {
+    if spec.needs_sgx() {
+        let cap = view.epc_capacity.count();
+        if cap == 0 {
+            1.0
+        } else {
+            view.epc_requested.count() as f64 / cap as f64
+        }
+    } else {
+        let cap = view.memory_capacity.as_bytes();
+        if cap == 0 {
+            1.0
+        } else {
+            view.memory_requested.as_bytes() as f64 / cap as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::topology::{Cluster, ClusterSpec};
+    use des::{SimDuration, SimTime};
+    use sgx_sim::units::ByteSize;
+    use tsdb::Database;
+
+    fn view() -> ClusterView {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        ClusterView::capture(
+            &cluster,
+            &Database::new(),
+            SimTime::ZERO,
+            SimDuration::from_secs(25),
+        )
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [
+            SchedulerKind::SgxAware(PlacementPolicy::Binpack),
+            SchedulerKind::SgxAware(PlacementPolicy::Spread),
+            SchedulerKind::KubeDefault,
+        ] {
+            assert_eq!(SchedulerKind::by_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(SchedulerKind::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn default_scheduler_ignores_sgx_node_ordering() {
+        // A 2 GiB standard pod: the stock scheduler happily lands on an
+        // empty SGX node if it is least requested — here all are empty, so
+        // the tie-break picks the alphabetically first node overall.
+        let v = view();
+        let pod = PodSpec::builder("p")
+            .memory_resources(ByteSize::from_gib(2))
+            .build();
+        let chosen = SchedulerKind::KubeDefault.place(&pod, &v).unwrap();
+        assert_eq!(chosen.as_str(), "sgx-1"); // no reservation of SGX nodes!
+        // The SGX-aware schedulers instead preserve SGX nodes.
+        let aware = SchedulerKind::SgxAware(PlacementPolicy::Binpack)
+            .place(&pod, &v)
+            .unwrap();
+        assert_eq!(aware.as_str(), "std-1");
+    }
+
+    #[test]
+    fn default_scheduler_least_requested_spreads() {
+        let mut v = view();
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        let first = SchedulerKind::KubeDefault.place(&pod, &v).unwrap();
+        v.node_mut(&first).unwrap().reserve(&pod);
+        let second = SchedulerKind::KubeDefault.place(&pod, &v).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn default_scheduler_is_blind_to_measured_usage() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let mut db = Database::new();
+        // sgx-1 is measured nearly full, but nothing was *requested*.
+        db.insert(
+            tsdb::Point::new(
+                cluster::probe::MEASUREMENT_EPC,
+                SimTime::from_secs(1),
+                90.0 * 1024.0 * 1024.0,
+            )
+            .with_tag("pod_name", "pod-1")
+            .with_tag("nodename", "sgx-1"),
+        );
+        let v = ClusterView::capture(&cluster, &db, SimTime::from_secs(2), SimDuration::from_secs(25));
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(50))
+            .build();
+        // Stock scheduler still places on sgx-1 (requests say it's empty)…
+        assert_eq!(
+            SchedulerKind::KubeDefault.place(&pod, &v).unwrap().as_str(),
+            "sgx-1"
+        );
+        // …while the SGX-aware scheduler sees the measured usage and avoids it.
+        assert_eq!(
+            SchedulerKind::SgxAware(PlacementPolicy::Binpack)
+                .place(&pod, &v)
+                .unwrap()
+                .as_str(),
+            "sgx-2"
+        );
+    }
+}

@@ -1,0 +1,1054 @@
+//! The master-side control loop: submission, scheduling passes, probe
+//! collection and pod completion.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use cluster::api::{NodeName, PodSpec, PodUid};
+use cluster::node::PodStartReport;
+use cluster::probe::Probe;
+use cluster::topology::{Cluster, ClusterSpec};
+use cluster::ClusterError;
+use des::rng::{derive_seed, seeded_rng};
+use des::{SimDuration, SimTime};
+use sgx_sim::units::{ByteSize, EpcPages};
+use tsdb::Database;
+
+use crate::events::{EventKind, EventLog};
+use crate::metrics::ClusterView;
+use crate::queue::PendingQueue;
+use crate::scheduler::{SchedulerKind, SGX_BINPACK};
+
+/// Tunables of the orchestrator control loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Scheduler used for pods that do not name one.
+    pub default_scheduler: String,
+    /// Sliding window of the metrics queries (Listing 1 uses 25 s).
+    pub metrics_window: SimDuration,
+    /// How often the scheduling pass runs.
+    pub scheduler_period: SimDuration,
+    /// How often the probes scrape the nodes.
+    pub probe_period: SimDuration,
+    /// Retention of the time-series database.
+    pub retention: SimDuration,
+    /// Base seed for the startup-cost jitter stream.
+    pub seed: u64,
+}
+
+impl OrchestratorConfig {
+    /// The paper's configuration: SGX-aware binpack as default scheduler,
+    /// 25 s metrics window, 5 s scheduling period, 10 s probe period.
+    pub fn paper() -> Self {
+        OrchestratorConfig {
+            default_scheduler: SGX_BINPACK.to_string(),
+            metrics_window: SimDuration::from_secs(25),
+            scheduler_period: SimDuration::from_secs(5),
+            probe_period: SimDuration::from_secs(10),
+            retention: SimDuration::from_mins(15),
+            seed: 0,
+        }
+    }
+
+    /// Same configuration with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different default scheduler.
+    pub fn with_default_scheduler(mut self, name: impl Into<String>) -> Self {
+        self.default_scheduler = name.into();
+        self
+    }
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig::paper()
+    }
+}
+
+/// Lifecycle state of a submitted pod.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodOutcome {
+    /// Still in the pending queue.
+    Pending,
+    /// Running on a node.
+    Running {
+        /// Where it runs.
+        node: NodeName,
+    },
+    /// Finished normally.
+    Completed {
+        /// Where it ran.
+        node: NodeName,
+    },
+    /// Killed at launch by the driver's limit enforcement (§VI-F).
+    Denied {
+        /// Where the launch was attempted.
+        node: NodeName,
+    },
+    /// Requests exceed every node's total capacity; never enqueued.
+    Unschedulable,
+}
+
+/// Bookkeeping for one submitted pod, from which the evaluation derives
+/// waiting times (Figs. 8, 9, 11) and turnaround times (Fig. 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PodRecord {
+    /// The pod's uid.
+    pub uid: PodUid,
+    /// Pod name from the spec.
+    pub name: String,
+    /// Whether the pod requested EPC.
+    pub needs_sgx: bool,
+    /// Advertised memory request.
+    pub mem_request: ByteSize,
+    /// Advertised EPC request.
+    pub epc_request: EpcPages,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Instant the containers finished starting (submission + queueing +
+    /// startup), when they did.
+    pub started_at: Option<SimTime>,
+    /// Instant the pod terminated (completion or denial).
+    pub finished_at: Option<SimTime>,
+    /// Current lifecycle state.
+    pub outcome: PodOutcome,
+}
+
+impl PodRecord {
+    /// The paper's waiting time: submission → job actually starts.
+    pub fn waiting_time(&self) -> Option<SimDuration> {
+        self.started_at.map(|t| t.saturating_since(self.submitted_at))
+    }
+
+    /// The paper's turnaround time: submission → job finishes and dies.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.finished_at
+            .map(|t| t.saturating_since(self.submitted_at))
+    }
+}
+
+/// Result of binding one pod during a scheduling pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindOutcome {
+    /// The pod bound.
+    pub uid: PodUid,
+    /// The node chosen by the placement policy.
+    pub node: NodeName,
+    /// What the Kubelet reported (startup delay; denial, if any).
+    pub report: PodStartReport,
+    /// The job's useful duration from its spec.
+    pub spec_duration: SimDuration,
+    /// The node's paging-slowdown multiplier right after the pod started
+    /// (1.0 unless the EPC is over-committed).
+    pub slowdown_at_start: f64,
+}
+
+/// The orchestrator: cluster, time-series database, pending queue,
+/// schedulers and pod records. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Orchestrator {
+    cluster: Cluster,
+    db: Database,
+    queue: PendingQueue,
+    probes: Vec<Probe>,
+    config: OrchestratorConfig,
+    records: BTreeMap<PodUid, PodRecord>,
+    events: EventLog,
+    next_uid: u64,
+    rng: StdRng,
+}
+
+impl Orchestrator {
+    /// Builds the cluster from `spec` and wires up the monitoring stack.
+    pub fn new(spec: ClusterSpec, config: OrchestratorConfig) -> Self {
+        let probes = vec![
+            Probe::heapster(config.probe_period),
+            Probe::sgx(config.probe_period),
+        ];
+        Orchestrator {
+            cluster: Cluster::build(&spec),
+            db: Database::new(),
+            queue: PendingQueue::new(),
+            probes,
+            rng: seeded_rng(derive_seed(config.seed, "orchestrator")),
+            config,
+            records: BTreeMap::new(),
+            events: EventLog::with_capacity(100_000),
+            next_uid: 1,
+        }
+    }
+
+    /// The cluster event stream (`kubectl get events`).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The control-loop configuration.
+    pub fn config(&self) -> &OrchestratorConfig {
+        &self.config
+    }
+
+    /// Read access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster (e.g. to toggle driver enforcement).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Read access to the time-series database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The pending queue.
+    pub fn queue(&self) -> &PendingQueue {
+        &self.queue
+    }
+
+    /// All pod records, keyed by uid.
+    pub fn records(&self) -> &BTreeMap<PodUid, PodRecord> {
+        &self.records
+    }
+
+    /// One pod's record.
+    pub fn record(&self, uid: PodUid) -> Option<&PodRecord> {
+        self.records.get(&uid)
+    }
+
+    /// Toggles the driver-side EPC limit enforcement on every SGX node
+    /// (the Fig. 11 experiment switch).
+    pub fn set_enforce_limits(&mut self, enforce: bool) {
+        for node in self.cluster.nodes_mut() {
+            if let Some(driver) = node.driver_mut() {
+                driver.set_enforce_limits(enforce);
+            }
+        }
+    }
+
+    /// Submits a pod (§IV step Ê): assigns a uid and enqueues it, or
+    /// marks it permanently unschedulable when its requests exceed every
+    /// node's total capacity.
+    pub fn submit(&mut self, spec: PodSpec, now: SimTime) -> PodUid {
+        let uid = PodUid::new(self.next_uid);
+        self.next_uid += 1;
+
+        let view = self.capture_view(now);
+        let unschedulable = view.permanently_unschedulable(&spec);
+        self.records.insert(
+            uid,
+            PodRecord {
+                uid,
+                name: spec.name.clone(),
+                needs_sgx: spec.needs_sgx(),
+                mem_request: spec.resources.requests.memory,
+                epc_request: spec.resources.requests.epc_pages,
+                submitted_at: now,
+                started_at: None,
+                finished_at: None,
+                outcome: if unschedulable {
+                    PodOutcome::Unschedulable
+                } else {
+                    PodOutcome::Pending
+                },
+            },
+        );
+        if unschedulable {
+            self.events.record(now, EventKind::Unschedulable { uid });
+        } else {
+            self.events.record(now, EventKind::Submitted { uid });
+            self.queue.enqueue(uid, spec, now);
+        }
+        uid
+    }
+
+    /// One scheduling pass (§IV steps Ì–Î): snapshot the queue and the
+    /// cluster view, walk pending pods in FCFS order, place and bind.
+    ///
+    /// Pods the policy cannot place stay queued for the next pass. Pods
+    /// whose enclave the driver denies are recorded as [`PodOutcome::Denied`]
+    /// and leave the queue — they were launched and killed.
+    pub fn scheduler_pass(&mut self, now: SimTime) -> Vec<BindOutcome> {
+        let mut view = self.capture_view(now);
+        let mut outcomes = Vec::new();
+
+        for pending in self.queue.snapshot() {
+            let kind = pending
+                .spec
+                .scheduler
+                .as_deref()
+                .and_then(SchedulerKind::by_name)
+                .or_else(|| SchedulerKind::by_name(&self.config.default_scheduler))
+                .unwrap_or(SchedulerKind::KubeDefault);
+
+            let Some(node_name) = kind.place(&pending.spec, &view) else {
+                continue; // stays pending; FCFS retry next pass
+            };
+
+            let node = self
+                .cluster
+                .node_mut(&node_name)
+                .expect("view only contains cluster nodes");
+            match node.run_pod(pending.uid, pending.spec.clone(), now, &mut self.rng) {
+                Ok(report) => {
+                    self.queue.remove(pending.uid);
+                    let started_at = now + report.startup_delay;
+                    let record = self
+                        .records
+                        .get_mut(&pending.uid)
+                        .expect("every queued pod has a record");
+                    record.started_at = Some(started_at);
+                    if report.denied.is_some() {
+                        record.finished_at = Some(started_at);
+                        record.outcome = PodOutcome::Denied {
+                            node: node_name.clone(),
+                        };
+                        self.events.record(
+                            now,
+                            EventKind::DeniedAtInit {
+                                uid: pending.uid,
+                                node: node_name.clone(),
+                            },
+                        );
+                    } else {
+                        record.outcome = PodOutcome::Running {
+                            node: node_name.clone(),
+                        };
+                        self.events.record(
+                            now,
+                            EventKind::Scheduled {
+                                uid: pending.uid,
+                                node: node_name.clone(),
+                            },
+                        );
+                        if let Some(v) = view.node_mut(&node_name) {
+                            v.reserve(&pending.spec);
+                        }
+                    }
+                    let slowdown_at_start = self
+                        .cluster
+                        .node(&node_name)
+                        .map_or(1.0, |n| n.current_slowdown());
+                    outcomes.push(BindOutcome {
+                        uid: pending.uid,
+                        node: node_name,
+                        report,
+                        spec_duration: pending.spec.duration,
+                        slowdown_at_start,
+                    });
+                }
+                Err(_) => {
+                    // The Kubelet refused (a race between view and node
+                    // state); treat the node as full for the rest of the
+                    // pass and retry the pod later.
+                    if let Some(v) = view.node_mut(&node_name) {
+                        v.reserve(&pending.spec);
+                    }
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// One probe pass (§V-C): every probe scrapes every node it targets
+    /// and pushes the points into the database; retention is enforced.
+    pub fn probe_pass(&mut self, now: SimTime) {
+        let mut points = Vec::new();
+        for probe in &self.probes {
+            for node in self.cluster.nodes() {
+                if probe.targets(node) {
+                    points.extend(probe.sample(node, now));
+                }
+            }
+        }
+        self.db.extend(points);
+        self.db.enforce_retention(now, self.config.retention);
+    }
+
+    /// Completes a running pod: terminates it on its node and closes its
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownPod`] if the pod is not running.
+    pub fn complete_pod(&mut self, uid: PodUid, now: SimTime) -> Result<(), ClusterError> {
+        let record = self
+            .records
+            .get_mut(&uid)
+            .ok_or(ClusterError::UnknownPod(uid))?;
+        let PodOutcome::Running { node } = record.outcome.clone() else {
+            return Err(ClusterError::UnknownPod(uid));
+        };
+        self.cluster
+            .node_mut(&node)
+            .ok_or_else(|| ClusterError::UnknownNode(node.clone()))?
+            .terminate_pod(uid)?;
+        record.finished_at = Some(now);
+        record.outcome = PodOutcome::Completed { node: node.clone() };
+        self.events.record(now, EventKind::Completed { uid, node });
+        Ok(())
+    }
+
+    /// The scheduler's current view (capacities, requests, measured usage
+    /// over the sliding window).
+    pub fn capture_view(&self, now: SimTime) -> ClusterView {
+        ClusterView::capture(&self.cluster, &self.db, now, self.config.metrics_window)
+    }
+
+    /// Live-migrates a running pod to another node (§VIII): its enclave is
+    /// checkpointed under a key agreed over an attested channel, shipped
+    /// across the cluster network, and restored exactly once on the
+    /// target. Returns the migration latency.
+    ///
+    /// If the target refuses the pod (admission race), it is restored on
+    /// its source node — the snapshot is single-use but handed back on
+    /// failure — and the refusal is returned as the error.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownPod`] — the pod is not running.
+    /// * [`ClusterError::UnknownNode`] — no such target.
+    /// * Any admission error from the target node.
+    pub fn migrate_pod(
+        &mut self,
+        uid: PodUid,
+        target: &NodeName,
+        now: SimTime,
+    ) -> Result<SimDuration, ClusterError> {
+        let record = self
+            .records
+            .get(&uid)
+            .ok_or(ClusterError::UnknownPod(uid))?;
+        let PodOutcome::Running { node: source } = record.outcome.clone() else {
+            return Err(ClusterError::UnknownPod(uid));
+        };
+        if !self.cluster.node(target).is_some() {
+            return Err(ClusterError::UnknownNode(target.clone()));
+        }
+        if &source == target {
+            return Ok(SimDuration::ZERO);
+        }
+
+        // Key agreement over the attested channel between the two CPUs.
+        let source_platform = self
+            .cluster
+            .node(&source)
+            .and_then(cluster::node::Node::platform)
+            .unwrap_or(0);
+        let target_platform = self
+            .cluster
+            .node(target)
+            .and_then(cluster::node::Node::platform)
+            .unwrap_or(0);
+        let key = sgx_sim::migration::MigrationKey::derive(
+            source_platform,
+            target_platform,
+            uid.as_u64(),
+        );
+
+        let (spec, checkpoint) = self
+            .cluster
+            .node_mut(&source)
+            .ok_or_else(|| ClusterError::UnknownNode(source.clone()))?
+            .migrate_out(uid, key)?;
+
+        let attempt = self
+            .cluster
+            .node_mut(target)
+            .expect("checked above")
+            .migrate_in(uid, spec.clone(), checkpoint, key, now);
+        match attempt {
+            Ok(delay) => {
+                self.records
+                    .get_mut(&uid)
+                    .expect("record exists")
+                    .outcome = PodOutcome::Running {
+                    node: target.clone(),
+                };
+                self.events.record(
+                    now,
+                    EventKind::Migrated {
+                        uid,
+                        from: source,
+                        to: target.clone(),
+                    },
+                );
+                Ok(delay)
+            }
+            Err(refusal) => {
+                // Roll back: the source just freed this capacity, so the
+                // pod always fits back where it came from.
+                self.cluster
+                    .node_mut(&source)
+                    .expect("source exists")
+                    .migrate_in(uid, spec, refusal.checkpoint, key, now)
+                    .expect("the source node must re-admit its own pod");
+                Err(refusal.cause)
+            }
+        }
+    }
+
+    /// Simulates a node crash: every pod on the node dies instantly, and
+    /// — as a Kubernetes controller would recreate them — each crashed
+    /// pod's spec is re-submitted to the pending queue (keeping its
+    /// original uid and submission time, so waiting-time accounting spans
+    /// the whole ordeal). The node itself is cordoned until
+    /// [`recover_node`](Self::recover_node). Returns the crashed pods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for unknown nodes.
+    pub fn fail_node(
+        &mut self,
+        name: &NodeName,
+        _now: SimTime,
+    ) -> Result<Vec<PodUid>, ClusterError> {
+        let victims: Vec<PodUid> = {
+            let node = self
+                .cluster
+                .node_mut(name)
+                .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?;
+            node.set_cordoned(true);
+            node.pods().keys().copied().collect()
+        };
+        for &uid in &victims {
+            let pod = self
+                .cluster
+                .node_mut(name)
+                .expect("checked above")
+                .terminate_pod(uid)
+                .expect("listed above");
+            let record = self
+                .records
+                .get_mut(&uid)
+                .expect("running pods have records");
+            record.outcome = PodOutcome::Pending;
+            record.started_at = None;
+            record.finished_at = None;
+            self.queue.enqueue(uid, pod.spec, record.submitted_at);
+        }
+        self.events.record(
+            _now,
+            EventKind::NodeFailed {
+                node: name.clone(),
+                pods: victims.len(),
+            },
+        );
+        Ok(victims)
+    }
+
+    /// Brings a crashed node back: a fresh Kubelet registers with empty
+    /// state (uncordoned); queued pods may land on it again next pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for unknown nodes.
+    pub fn recover_node(&mut self, name: &NodeName, now: SimTime) -> Result<(), ClusterError> {
+        self.uncordon_node(name, now)
+    }
+
+    /// Drains a node for maintenance: cordons it (no new pods) and
+    /// live-migrates every running pod to the best node the binpack
+    /// policy can find. Pods with no feasible target stay put (the node
+    /// remains cordoned; retry after capacity frees up). Returns the
+    /// migrations performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for unknown nodes.
+    pub fn drain_node(
+        &mut self,
+        name: &NodeName,
+        now: SimTime,
+    ) -> Result<Vec<(PodUid, NodeName)>, ClusterError> {
+        {
+            let node = self
+                .cluster
+                .node_mut(name)
+                .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?;
+            node.set_cordoned(true);
+        }
+        self.events
+            .record(now, EventKind::NodeCordoned { node: name.clone() });
+        let pods: Vec<(PodUid, cluster::api::PodSpec)> = self
+            .cluster
+            .node(name)
+            .expect("checked above")
+            .pods()
+            .values()
+            .map(|p| (p.uid, p.spec.clone()))
+            .collect();
+
+        let mut moves = Vec::new();
+        for (uid, spec) in pods {
+            // The view excludes the cordoned node, so placement naturally
+            // avoids it.
+            let view = self.capture_view(now);
+            let Some(target) =
+                SchedulerKind::SgxAware(crate::policy::PlacementPolicy::Binpack)
+                    .place(&spec, &view)
+            else {
+                continue; // no room anywhere right now
+            };
+            if self.migrate_pod(uid, &target, now).is_ok() {
+                moves.push((uid, target));
+            }
+        }
+        Ok(moves)
+    }
+
+    /// Un-cordons a previously drained node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for unknown nodes.
+    pub fn uncordon_node(&mut self, name: &NodeName, now: SimTime) -> Result<(), ClusterError> {
+        self.cluster
+            .node_mut(name)
+            .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?
+            .set_cordoned(false);
+        self.events
+            .record(now, EventKind::NodeUncordoned { node: name.clone() });
+        Ok(())
+    }
+
+    /// One EPC rebalancing pass — the paper's closing future-work idea:
+    /// "a globally optimized EPC utilisation through the migration of
+    /// enclaves". Moves SGX pods from the most- to the least-loaded SGX
+    /// node while the requested-EPC imbalance exceeds `threshold`
+    /// (a fraction of capacity). Returns the migrations performed.
+    pub fn rebalance_epc(
+        &mut self,
+        now: SimTime,
+        threshold: f64,
+    ) -> Vec<(PodUid, NodeName)> {
+        let mut moves = Vec::new();
+        loop {
+            // Snapshot per-SGX-node load fractions.
+            let mut loads: Vec<(NodeName, f64, EpcPages)> = self
+                .cluster
+                .sgx_nodes()
+                .map(|n| {
+                    let cap = n.allocatable_epc().count().max(1);
+                    (
+                        n.name().clone(),
+                        n.epc_requested().count() as f64 / cap as f64,
+                        n.epc_unrequested(),
+                    )
+                })
+                .collect();
+            if loads.len() < 2 {
+                return moves;
+            }
+            loads.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            let (coldest_name, cold_load, cold_free) = loads.first().expect("non-empty").clone();
+            let (hottest_name, hot_load, _) = loads.last().expect("non-empty").clone();
+            if hot_load - cold_load <= threshold {
+                return moves;
+            }
+            // Pick the largest pod on the hottest node that both fits the
+            // coldest node and does not overshoot the balance point.
+            let gap_pages = {
+                let hot = self.cluster.node(&hottest_name).expect("exists");
+                let cap = hot.allocatable_epc().count();
+                (((hot_load - cold_load) / 2.0) * cap as f64) as u64
+            };
+            let candidate = self
+                .cluster
+                .node(&hottest_name)
+                .expect("exists")
+                .pods()
+                .values()
+                .filter(|p| {
+                    let pages = p.spec.resources.requests.epc_pages;
+                    !pages.is_zero()
+                        && pages <= cold_free
+                        && pages.count() <= gap_pages
+                })
+                .max_by_key(|p| p.spec.resources.requests.epc_pages)
+                .map(|p| p.uid);
+            let Some(uid) = candidate else {
+                return moves;
+            };
+            if self.migrate_pod(uid, &coldest_name, now).is_err() {
+                return moves;
+            }
+            moves.push((uid, coldest_name));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{DEFAULT_SCHEDULER, SGX_SPREAD};
+    use sgx_sim::units::ByteSize;
+    use stress::Stressor;
+
+    fn orchestrator() -> Orchestrator {
+        Orchestrator::new(ClusterSpec::paper_cluster(), OrchestratorConfig::paper())
+    }
+
+    fn sgx_spec(name: &str, mib: u64) -> PodSpec {
+        PodSpec::builder(name)
+            .sgx_resources(ByteSize::from_mib(mib))
+            .duration(SimDuration::from_secs(30))
+            .build()
+    }
+
+    #[test]
+    fn submit_schedule_complete_lifecycle() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("a", 16), SimTime::ZERO);
+        assert_eq!(orch.queue().len(), 1);
+        assert_eq!(orch.record(uid).unwrap().outcome, PodOutcome::Pending);
+
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].report.started());
+        assert_eq!(outcomes[0].slowdown_at_start, 1.0);
+        assert!(orch.queue().is_empty());
+        let record = orch.record(uid).unwrap();
+        assert!(matches!(record.outcome, PodOutcome::Running { .. }));
+        let waiting = record.waiting_time().unwrap();
+        assert!(waiting >= SimDuration::from_secs(5)); // queued 5 s + startup
+
+        orch.complete_pod(uid, SimTime::from_secs(60)).unwrap();
+        let record = orch.record(uid).unwrap();
+        assert!(matches!(record.outcome, PodOutcome::Completed { .. }));
+        assert_eq!(record.turnaround(), Some(SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn capacity_contention_queues_pods_fcfs() {
+        let mut orch = orchestrator();
+        // Each node holds 93.5 MiB; three 60 MiB pods need three nodes but
+        // only two exist — the third waits.
+        for i in 0..3 {
+            orch.submit(sgx_spec(&format!("p{i}"), 60), SimTime::ZERO);
+        }
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(orch.queue().len(), 1);
+
+        // Completing one frees capacity; the queued pod starts next pass.
+        let done = outcomes[0].uid;
+        orch.complete_pod(done, SimTime::from_secs(40)).unwrap();
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(45));
+        assert_eq!(outcomes.len(), 1);
+        assert!(orch.queue().is_empty());
+    }
+
+    #[test]
+    fn unschedulable_pods_never_enqueue() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("monster", 100), SimTime::ZERO);
+        assert_eq!(orch.record(uid).unwrap().outcome, PodOutcome::Unschedulable);
+        assert!(orch.queue().is_empty());
+    }
+
+    #[test]
+    fn denied_pods_are_recorded_and_leave_the_queue() {
+        let mut orch = orchestrator();
+        let spec = PodSpec::builder("malicious")
+            .requirements(cluster::api::ResourceRequirements::exact(
+                cluster::api::Resources::with_epc(ByteSize::ZERO, EpcPages::ONE),
+            ))
+            .stressor(Stressor::malicious(0.5))
+            .duration(SimDuration::from_secs(1000))
+            .build();
+        let uid = orch.submit(spec, SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].report.started());
+        assert!(matches!(
+            orch.record(uid).unwrap().outcome,
+            PodOutcome::Denied { .. }
+        ));
+        assert!(orch.queue().is_empty());
+        // The denied pod's record has equal start and finish instants.
+        let r = orch.record(uid).unwrap();
+        assert_eq!(r.started_at, r.finished_at);
+    }
+
+    #[test]
+    fn probe_pass_feeds_the_view() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("a", 20), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        assert_eq!(orch.db().point_count(), 0);
+        orch.probe_pass(SimTime::from_secs(10));
+        assert!(orch.db().point_count() > 0);
+        let view = orch.capture_view(SimTime::from_secs(12));
+        let (_, node_view) = view
+            .iter()
+            .find(|(_, v)| !v.epc_measured.is_zero())
+            .expect("one node reports EPC usage");
+        assert_eq!(node_view.epc_measured, ByteSize::from_mib(20));
+        let _ = uid;
+    }
+
+    #[test]
+    fn per_pod_scheduler_routing() {
+        let mut orch = orchestrator();
+        // Route one pod through spread, one through the stock scheduler.
+        let spread = PodSpec::builder("s")
+            .sgx_resources(ByteSize::from_mib(10))
+            .scheduler(SGX_SPREAD)
+            .build();
+        let stock = PodSpec::builder("d")
+            .memory_resources(ByteSize::from_gib(1))
+            .scheduler(DEFAULT_SCHEDULER)
+            .build();
+        orch.submit(spread, SimTime::ZERO);
+        orch.submit(stock, SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(1));
+        assert_eq!(outcomes.len(), 2);
+        // The stock scheduler lands the standard pod on an (empty) SGX
+        // node — it does not preserve SGX capacity.
+        assert!(outcomes[1].node.as_str().starts_with("sgx"));
+    }
+
+    #[test]
+    fn completing_a_non_running_pod_errors() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("a", 10), SimTime::ZERO);
+        assert!(orch.complete_pod(uid, SimTime::from_secs(1)).is_err());
+        assert!(orch
+            .complete_pod(PodUid::new(999), SimTime::from_secs(1))
+            .is_err());
+    }
+
+    #[test]
+    fn migrate_pod_moves_enclaves_between_nodes() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("svc", 20), SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        let source = outcomes[0].node.clone();
+        let target = if source.as_str() == "sgx-1" {
+            NodeName::new("sgx-2")
+        } else {
+            NodeName::new("sgx-1")
+        };
+
+        let delay = orch
+            .migrate_pod(uid, &target, SimTime::from_secs(10))
+            .unwrap();
+        assert!(delay > SimDuration::from_millis(100));
+        assert_eq!(
+            orch.record(uid).unwrap().outcome,
+            PodOutcome::Running { node: target.clone() }
+        );
+        // Resources moved with the pod.
+        assert_eq!(
+            orch.cluster().node(&source).unwrap().epc_committed(),
+            EpcPages::ZERO
+        );
+        assert_eq!(
+            orch.cluster().node(&target).unwrap().epc_committed(),
+            EpcPages::from_mib_ceil(20)
+        );
+        // The pod still completes normally afterwards.
+        orch.complete_pod(uid, SimTime::from_secs(60)).unwrap();
+        assert!(matches!(
+            orch.record(uid).unwrap().outcome,
+            PodOutcome::Completed { .. }
+        ));
+    }
+
+    #[test]
+    fn refused_migration_restores_on_the_source() {
+        let mut orch = orchestrator();
+        // Fill sgx-2 so it cannot take more.
+        let filler = orch.submit(sgx_spec("filler", 80), SimTime::ZERO);
+        let moving = orch.submit(sgx_spec("svc", 60), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let filler_node = match &orch.record(filler).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("filler not running: {other:?}"),
+        };
+        let moving_node = match &orch.record(moving).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("svc not running: {other:?}"),
+        };
+        assert_ne!(filler_node, moving_node, "binpack split them by size");
+
+        let err = orch
+            .migrate_pod(moving, &filler_node, SimTime::from_secs(10))
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientResources { .. }));
+        // Rolled back: still running on its original node, state intact.
+        assert_eq!(
+            orch.record(moving).unwrap().outcome,
+            PodOutcome::Running { node: moving_node.clone() }
+        );
+        assert_eq!(
+            orch.cluster().node(&moving_node).unwrap().epc_committed(),
+            EpcPages::from_mib_ceil(60)
+        );
+    }
+
+    #[test]
+    fn migrating_to_the_same_node_is_a_no_op() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("svc", 10), SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        let node = outcomes[0].node.clone();
+        assert_eq!(
+            orch.migrate_pod(uid, &node, SimTime::from_secs(10)).unwrap(),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn rebalance_evens_out_epc_load() {
+        let mut orch = orchestrator();
+        // Binpack stacks all four 20 MiB pods onto sgx-1.
+        let mut uids = Vec::new();
+        for i in 0..4 {
+            uids.push(orch.submit(sgx_spec(&format!("p{i}"), 20), SimTime::ZERO));
+        }
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let loaded = |orch: &Orchestrator, name: &str| {
+            orch.cluster()
+                .node(&NodeName::new(name))
+                .unwrap()
+                .epc_requested()
+        };
+        assert_eq!(loaded(&orch, "sgx-1"), EpcPages::from_mib_ceil(20) * 4);
+        assert_eq!(loaded(&orch, "sgx-2"), EpcPages::ZERO);
+
+        let moves = orch.rebalance_epc(SimTime::from_secs(10), 0.1);
+        assert!(!moves.is_empty());
+        // Both nodes now carry EPC load, within the threshold band.
+        let a = loaded(&orch, "sgx-1").count() as f64;
+        let b = loaded(&orch, "sgx-2").count() as f64;
+        let cap = 23_936.0;
+        assert!((a / cap - b / cap).abs() <= 0.1 + 20.0 * 256.0 / cap);
+        // All pods still running.
+        for uid in uids {
+            assert!(matches!(
+                orch.record(uid).unwrap().outcome,
+                PodOutcome::Running { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn rebalance_is_idle_when_balanced() {
+        let mut orch = orchestrator();
+        orch.submit(sgx_spec("only", 10), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let moves = orch.rebalance_epc(SimTime::from_secs(10), 0.2);
+        // One 10 MiB pod: the imbalance (≈0.107) is within nothing a
+        // single migration could improve without overshooting.
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn drain_moves_every_pod_and_cordons_the_node() {
+        let mut orch = orchestrator();
+        let mut uids = Vec::new();
+        for i in 0..3 {
+            uids.push(orch.submit(sgx_spec(&format!("p{i}"), 20), SimTime::ZERO));
+        }
+        orch.scheduler_pass(SimTime::from_secs(5));
+        // Binpack stacked everything on sgx-1.
+        let victim = NodeName::new("sgx-1");
+        assert_eq!(orch.cluster().node(&victim).unwrap().pods().len(), 3);
+
+        let moves = orch.drain_node(&victim, SimTime::from_secs(10)).unwrap();
+        assert_eq!(moves.len(), 3);
+        assert!(moves.iter().all(|(_, n)| n.as_str() == "sgx-2"));
+        assert!(orch.cluster().node(&victim).unwrap().pods().is_empty());
+        assert!(orch.cluster().node(&victim).unwrap().is_cordoned());
+
+        // New SGX pods now land on sgx-2 only.
+        let extra = orch.submit(sgx_spec("extra", 10), SimTime::from_secs(11));
+        orch.scheduler_pass(SimTime::from_secs(15));
+        assert!(matches!(
+            orch.record(extra).unwrap().outcome,
+            PodOutcome::Running { ref node } if node.as_str() == "sgx-2"
+        ));
+
+        orch.uncordon_node(&victim, SimTime::from_secs(20)).unwrap();
+        assert!(!orch.cluster().node(&victim).unwrap().is_cordoned());
+        let _ = uids;
+    }
+
+    #[test]
+    fn drain_leaves_unplaceable_pods_in_place() {
+        let mut orch = orchestrator();
+        // Both nodes ~70 % full: neither can absorb the other's pod.
+        let a = orch.submit(sgx_spec("a", 65), SimTime::ZERO);
+        let b = orch.submit(sgx_spec("b", 65), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let node_of = |orch: &Orchestrator, uid| match &orch.record(uid).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("not running: {other:?}"),
+        };
+        let victim = node_of(&orch, a);
+        assert_ne!(victim, node_of(&orch, b));
+
+        let moves = orch.drain_node(&victim, SimTime::from_secs(10)).unwrap();
+        assert!(moves.is_empty());
+        // The pod kept running where it was.
+        assert_eq!(node_of(&orch, a), victim);
+    }
+
+    #[test]
+    fn node_failure_requeues_pods_and_recovery_restores_capacity() {
+        let mut orch = orchestrator();
+        let a = orch.submit(sgx_spec("a", 60), SimTime::ZERO);
+        let b = orch.submit(sgx_spec("b", 60), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        // One pod per node (they don't fit together).
+        let node_a = match &orch.record(a).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("not running: {other:?}"),
+        };
+
+        let crashed = orch.fail_node(&node_a, SimTime::from_secs(30)).unwrap();
+        assert_eq!(crashed, vec![a]);
+        assert_eq!(orch.record(a).unwrap().outcome, PodOutcome::Pending);
+        assert_eq!(orch.queue().len(), 1);
+        // The crashed node holds nothing and accepts nothing.
+        let node = orch.cluster().node(&node_a).unwrap();
+        assert!(node.pods().is_empty());
+        assert_eq!(node.epc_committed(), EpcPages::ZERO);
+        assert!(node.is_cordoned());
+
+        // With the other node full and this one down, the pod waits…
+        assert!(orch.scheduler_pass(SimTime::from_secs(35)).is_empty());
+        // …until recovery, after which it reschedules (waiting time spans
+        // the crash: submitted at t=0, restarted at t≈40).
+        orch.recover_node(&node_a, SimTime::from_secs(39)).unwrap();
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(40));
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].uid, a);
+        let waiting = orch.record(a).unwrap().waiting_time().unwrap();
+        assert!(waiting >= SimDuration::from_secs(40));
+        let _ = b;
+    }
+
+    #[test]
+    fn enforcement_toggle_reaches_all_drivers() {
+        let mut orch = orchestrator();
+        orch.set_enforce_limits(false);
+        for node in orch.cluster().sgx_nodes() {
+            assert!(!node.driver().unwrap().enforces_limits());
+        }
+        orch.set_enforce_limits(true);
+        for node in orch.cluster().sgx_nodes() {
+            assert!(node.driver().unwrap().enforces_limits());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Memory Encryption Engine accounting (§II, Gueron's MEE).
+//!
+//! Traffic between the CPU package and system memory is protected by the
+//! MEE: cache misses into the Processor Reserved Memory are transparently
+//! encrypted/decrypted, and an integrity tree provides tamper and replay
+//! protection. The simulation cannot (and need not) encrypt anything, but
+//! it accounts for the traffic the paging mechanism generates — the
+//! quantity behind the up-to-1000× over-commit penalty: every evicted
+//! page is encrypted and its digest inserted in the tree; every fault
+//! decrypts and verifies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{ByteSize, EpcPages, EPC_PAGE_SIZE};
+
+/// Cumulative MEE counters for one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MeeStats {
+    /// Bytes encrypted on their way out of the PRM (page evictions).
+    pub bytes_encrypted: u64,
+    /// Bytes decrypted on their way back in (page faults).
+    pub bytes_decrypted: u64,
+    /// Integrity-tree digest insertions (one per evicted page).
+    pub digests_inserted: u64,
+    /// Integrity + freshness verifications (one per faulted-in page).
+    pub integrity_checks: u64,
+}
+
+impl MeeStats {
+    /// Records the eviction of `pages` (encrypt + digest).
+    pub(crate) fn record_evictions(&mut self, pages: EpcPages) {
+        self.bytes_encrypted += pages.count() * EPC_PAGE_SIZE;
+        self.digests_inserted += pages.count();
+    }
+
+    /// Records `pages` being faulted back in (decrypt + verify).
+    pub(crate) fn record_faults(&mut self, pages: EpcPages) {
+        self.bytes_decrypted += pages.count() * EPC_PAGE_SIZE;
+        self.integrity_checks += pages.count();
+    }
+
+    /// Total protected traffic through the MEE, both directions.
+    pub fn total_traffic(&self) -> ByteSize {
+        ByteSize::from_bytes(self.bytes_encrypted + self.bytes_decrypted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut mee = MeeStats::default();
+        mee.record_evictions(EpcPages::new(10));
+        mee.record_faults(EpcPages::new(4));
+        assert_eq!(mee.bytes_encrypted, 10 * 4096);
+        assert_eq!(mee.bytes_decrypted, 4 * 4096);
+        assert_eq!(mee.digests_inserted, 10);
+        assert_eq!(mee.integrity_checks, 4);
+        assert_eq!(mee.total_traffic(), ByteSize::from_bytes(14 * 4096));
+    }
+}

@@ -1,0 +1,178 @@
+//! Post-replay analysis: the quantities plotted in Figs. 7–11.
+
+use borg_trace::JobKind;
+use des::stats::{Cdf, RunningStats};
+use des::SimDuration;
+use sgx_sim::units::ByteSize;
+
+use crate::replay::{JobRun, ReplayResult};
+
+/// Selects honest runs of a given kind (or all honest runs).
+fn honest_of_kind<'a>(
+    result: &'a ReplayResult,
+    kind: Option<JobKind>,
+) -> impl Iterator<Item = &'a JobRun> {
+    result
+        .honest_runs()
+        .filter(move |run| match (kind, run.job) {
+            (None, _) => true,
+            (Some(k), Some(job)) => job.kind == k,
+            (Some(_), None) => false,
+        })
+}
+
+/// CDF of waiting times in seconds for honest jobs of `kind` (or all
+/// honest jobs when `None`) — Figs. 8 and 11.
+pub fn waiting_cdf(result: &ReplayResult, kind: Option<JobKind>) -> Cdf {
+    honest_of_kind(result, kind)
+        .filter_map(|run| run.record.waiting_time())
+        .map(|d| d.as_secs_f64())
+        .collect()
+}
+
+/// Sum of turnaround times for honest jobs of `kind` — the bars of
+/// Fig. 10.
+pub fn total_turnaround(result: &ReplayResult, kind: Option<JobKind>) -> SimDuration {
+    honest_of_kind(result, kind)
+        .filter_map(|run| run.record.turnaround())
+        .sum()
+}
+
+/// Sum of waiting times for honest jobs of `kind`.
+pub fn total_waiting(result: &ReplayResult, kind: Option<JobKind>) -> SimDuration {
+    honest_of_kind(result, kind)
+        .filter_map(|run| run.record.waiting_time())
+        .sum()
+}
+
+/// One bar of Fig. 9: jobs bucketed by memory request, with the mean
+/// waiting time and its 95 % confidence half-width per bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitingByRequest {
+    /// Inclusive lower edge of the request bucket.
+    pub bucket_start: ByteSize,
+    /// Exclusive upper edge of the request bucket.
+    pub bucket_end: ByteSize,
+    /// Number of jobs in the bucket.
+    pub jobs: u64,
+    /// Mean waiting time in seconds.
+    pub mean_waiting_secs: f64,
+    /// 95 % confidence half-width in seconds.
+    pub ci95_secs: f64,
+}
+
+/// Buckets honest jobs of `kind` by their advertised memory request and
+/// averages waiting times per bucket (Fig. 9). `bucket` is the bucket
+/// width; jobs request the resource matching their kind (EPC bytes for
+/// SGX jobs, ordinary memory for standard jobs).
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero bytes.
+pub fn waiting_by_request(
+    result: &ReplayResult,
+    kind: JobKind,
+    bucket: ByteSize,
+) -> Vec<WaitingByRequest> {
+    assert!(!bucket.is_zero(), "bucket width must be non-zero");
+    let mut buckets: std::collections::BTreeMap<u64, RunningStats> =
+        std::collections::BTreeMap::new();
+    for run in honest_of_kind(result, Some(kind)) {
+        let Some(wait) = run.record.waiting_time() else {
+            continue;
+        };
+        let request = run.job.expect("honest runs have jobs").mem_request;
+        let index = request.as_bytes() / bucket.as_bytes();
+        buckets
+            .entry(index)
+            .or_insert_with(RunningStats::new)
+            .push(wait.as_secs_f64());
+    }
+    buckets
+        .into_iter()
+        .map(|(index, stats)| WaitingByRequest {
+            bucket_start: ByteSize::from_bytes(index * bucket.as_bytes()),
+            bucket_end: ByteSize::from_bytes((index + 1) * bucket.as_bytes()),
+            jobs: stats.count(),
+            mean_waiting_secs: stats.mean(),
+            ci95_secs: stats.ci95_half_width(),
+        })
+        .collect()
+}
+
+/// Mean waiting time in seconds across honest jobs of `kind`.
+pub fn mean_waiting_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+    let stats: RunningStats = honest_of_kind(result, kind)
+        .filter_map(|run| run.record.waiting_time())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    stats.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{replay, ReplayConfig};
+    use borg_trace::{GeneratorConfig, Workload, WorkloadParams};
+
+    fn result() -> ReplayResult {
+        let trace = GeneratorConfig::small(21).generate();
+        let workload = Workload::materialize(&trace, &WorkloadParams::paper(0.5, 21));
+        replay(&workload, &ReplayConfig::paper(21))
+    }
+
+    #[test]
+    fn waiting_cdf_covers_started_jobs() {
+        let r = result();
+        let all = waiting_cdf(&r, None);
+        let sgx = waiting_cdf(&r, Some(JobKind::Sgx));
+        let std = waiting_cdf(&r, Some(JobKind::Standard));
+        assert_eq!(all.len(), sgx.len() + std.len());
+        assert!(all.min().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn turnaround_exceeds_waiting() {
+        let r = result();
+        assert!(total_turnaround(&r, None) > total_waiting(&r, None));
+        let sgx = total_turnaround(&r, Some(JobKind::Sgx));
+        let std = total_turnaround(&r, Some(JobKind::Standard));
+        assert_eq!(sgx + std, total_turnaround(&r, None));
+    }
+
+    #[test]
+    fn request_buckets_partition_the_jobs() {
+        let r = result();
+        let buckets = waiting_by_request(&r, JobKind::Sgx, ByteSize::from_mib(5));
+        assert!(!buckets.is_empty());
+        let total: u64 = buckets.iter().map(|b| b.jobs).sum();
+        let started = r
+            .honest_runs()
+            .filter(|run| {
+                run.job.map(|j| j.kind) == Some(JobKind::Sgx)
+                    && run.record.waiting_time().is_some()
+            })
+            .count() as u64;
+        assert_eq!(total, started);
+        for b in &buckets {
+            assert!(b.bucket_start < b.bucket_end);
+            assert!(b.mean_waiting_secs >= 0.0);
+            assert!(b.ci95_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_waiting_is_finite() {
+        let r = result();
+        let mean = mean_waiting_secs(&r, None);
+        assert!(mean.is_finite());
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        let r = result();
+        let _ = waiting_by_request(&r, JobKind::Sgx, ByteSize::ZERO);
+    }
+}

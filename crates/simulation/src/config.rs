@@ -1,0 +1,150 @@
+//! Replay configuration.
+
+use serde::{Deserialize, Serialize};
+
+use cluster::topology::ClusterSpec;
+use des::SimDuration;
+use orchestrator::OrchestratorConfig;
+use sgx_sim::cost::CostModel;
+
+/// The malicious-tenant scenario of §VI-F: one malicious pod per SGX node,
+/// each declaring a single EPC page but actually mapping `fraction` of its
+/// node's usable EPC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaliciousConfig {
+    /// Fraction of the node's usable EPC each malicious container maps
+    /// (the paper runs 0.25 and 0.5).
+    pub fraction: f64,
+    /// When the malicious pods are submitted (early, so they squat for
+    /// the whole replay).
+    pub submit_at_secs: u64,
+    /// How long the malicious pods run. The paper's squat for the whole
+    /// experiment; default is several hours.
+    pub duration: SimDuration,
+}
+
+impl MaliciousConfig {
+    /// One malicious pod per SGX node using `fraction` of its EPC,
+    /// submitted at t = 1 s and squatting for 12 h.
+    pub fn squatting(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "malicious fraction must be in (0, 1], got {fraction}"
+        );
+        MaliciousConfig {
+            fraction,
+            submit_at_secs: 1,
+            duration: SimDuration::from_hours(12),
+        }
+    }
+}
+
+/// A node-crash injection: the node dies at `fail_at_secs` (losing every
+/// pod, which re-queues) and registers back `down_for` later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeFailure {
+    /// Name of the node to crash.
+    pub node: String,
+    /// When the crash happens, seconds into the replay.
+    pub fail_at_secs: u64,
+    /// How long the node stays down.
+    pub down_for: SimDuration,
+}
+
+/// Full configuration of one replay run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// The cluster to replay against.
+    pub cluster: ClusterSpec,
+    /// Orchestrator tunables (scheduler choice via
+    /// `orchestrator.default_scheduler`).
+    pub orchestrator: OrchestratorConfig,
+    /// Whether the drivers enforce per-pod EPC limits (§V-D); the Fig. 11
+    /// experiment runs both settings.
+    pub enforce_limits: bool,
+    /// Optional malicious tenants (Fig. 11).
+    pub malicious: Option<MaliciousConfig>,
+    /// Overrides every node's startup/paging cost model (ablations);
+    /// `None` keeps [`CostModel::paper_defaults`].
+    pub cost_model: Option<CostModel>,
+    /// Injected node crashes (failure testing).
+    pub failures: Vec<NodeFailure>,
+    /// Hard cap on simulated time; replays that exceed it are marked
+    /// timed out (guards against pathological configurations).
+    pub max_sim_time: SimDuration,
+}
+
+impl ReplayConfig {
+    /// The paper's defaults: paper cluster, binpack default scheduler,
+    /// limits enforced, no malicious tenants, 48 h cap.
+    pub fn paper(seed: u64) -> Self {
+        ReplayConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            orchestrator: OrchestratorConfig::paper().with_seed(seed),
+            enforce_limits: true,
+            malicious: None,
+            cost_model: None,
+            failures: Vec::new(),
+            max_sim_time: SimDuration::from_hours(48),
+        }
+    }
+
+    /// Injects a node crash.
+    pub fn with_failure(mut self, failure: NodeFailure) -> Self {
+        self.failures.push(failure);
+        self
+    }
+
+    /// Overrides the startup/paging cost model on every node.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Same configuration with a different default scheduler.
+    pub fn with_scheduler(mut self, name: &str) -> Self {
+        self.orchestrator = self.orchestrator.with_default_scheduler(name);
+        self
+    }
+
+    /// Same configuration with a different cluster.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Adds the malicious tenants of Fig. 11.
+    pub fn with_malicious(mut self, malicious: MaliciousConfig) -> Self {
+        self.malicious = Some(malicious);
+        self
+    }
+
+    /// Disables driver-side limit enforcement (Fig. 11's broken world).
+    pub fn without_limits(mut self) -> Self {
+        self.enforce_limits = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let config = ReplayConfig::paper(7)
+            .with_scheduler(orchestrator::SGX_SPREAD)
+            .without_limits()
+            .with_malicious(MaliciousConfig::squatting(0.25));
+        assert_eq!(config.orchestrator.default_scheduler, orchestrator::SGX_SPREAD);
+        assert!(!config.enforce_limits);
+        assert_eq!(config.malicious.unwrap().fraction, 0.25);
+        assert_eq!(config.orchestrator.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn malicious_fraction_validated() {
+        let _ = MaliciousConfig::squatting(1.5);
+    }
+}

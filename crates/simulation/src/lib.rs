@@ -1,0 +1,34 @@
+//! Discrete-event replay of Borg-derived workloads against the SGX-aware
+//! orchestrator.
+//!
+//! This crate glues the whole stack together: it turns a
+//! [`borg_trace::Workload`] into pod submissions, drives the
+//! [`orchestrator::Orchestrator`]'s scheduling and probe passes on their
+//! configured periods, executes container startup against the simulated
+//! SGX driver, and collects everything the paper's evaluation section
+//! measures — waiting times (Figs. 8, 9, 11), turnaround times (Fig. 10)
+//! and the pending-queue series (Fig. 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use borg_trace::{GeneratorConfig, Workload, WorkloadParams};
+//! use simulation::{ReplayConfig, replay};
+//!
+//! let trace = GeneratorConfig::small(1).generate();
+//! let workload = Workload::materialize(&trace, &WorkloadParams::paper(0.5, 1));
+//! let result = replay(&workload, &ReplayConfig::paper(1));
+//! assert_eq!(result.runs().len(), workload.len());
+//! assert!(result.completed_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+
+mod config;
+mod replay;
+
+pub use config::{MaliciousConfig, NodeFailure, ReplayConfig};
+pub use replay::{replay, JobRun, ReplayResult};

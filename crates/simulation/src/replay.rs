@@ -1,0 +1,501 @@
+//! The discrete-event replay loop.
+
+use std::collections::BTreeMap;
+
+use borg_trace::{Workload, WorkloadJob};
+use cluster::api::{PodSpec, PodUid, ResourceRequirements, Resources};
+use des::stats::TimeSeries;
+use des::{EventQueue, SimTime};
+use orchestrator::{Orchestrator, PodOutcome, PodRecord};
+use sgx_sim::units::ByteSize;
+use stress::Stressor;
+
+use crate::config::ReplayConfig;
+
+/// Events driving the replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// Submit workload job `index`.
+    Submit(usize),
+    /// Submit the malicious squatters (Fig. 11).
+    SubmitMalicious,
+    /// Periodic scheduling pass.
+    SchedulerTick,
+    /// Periodic probe scrape.
+    ProbeTick,
+    /// A running pod finished its useful work. The generation counter
+    /// guards against stale events: a pod killed by a node crash and
+    /// rescheduled gets a new generation, so the old finish is ignored.
+    PodFinish(PodUid, u32),
+    /// Injected node crash (index into `config.failures`).
+    NodeFail(usize),
+    /// The crashed node registers back.
+    NodeRecover(usize),
+}
+
+/// One submitted pod with its provenance, after the replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRun {
+    /// The workload job this pod came from; `None` for malicious pods.
+    pub job: Option<WorkloadJob>,
+    /// The orchestrator's lifecycle record.
+    pub record: PodRecord,
+    /// `true` for the injected malicious squatters.
+    pub malicious: bool,
+}
+
+impl JobRun {
+    /// `true` for honest (trace-derived) jobs.
+    pub fn honest(&self) -> bool {
+        !self.malicious
+    }
+}
+
+/// Everything a replay produces.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    runs: Vec<JobRun>,
+    pending_epc_series: TimeSeries,
+    pending_memory_series: TimeSeries,
+    end_time: SimTime,
+    timed_out: bool,
+}
+
+impl ReplayResult {
+    /// All submitted pods with their records, in submission order.
+    pub fn runs(&self) -> &[JobRun] {
+        &self.runs
+    }
+
+    /// Honest (trace-derived) runs only.
+    pub fn honest_runs(&self) -> impl Iterator<Item = &JobRun> {
+        self.runs.iter().filter(|r| r.honest())
+    }
+
+    /// Total EPC requested by pending pods over time, in MiB — the Fig. 7
+    /// series (sampled after every scheduling pass).
+    pub fn pending_epc_series(&self) -> &TimeSeries {
+        &self.pending_epc_series
+    }
+
+    /// Total ordinary memory requested by pending pods over time, in MiB.
+    pub fn pending_memory_series(&self) -> &TimeSeries {
+        &self.pending_memory_series
+    }
+
+    /// Instant the last event fired (replay makespan).
+    pub fn end_time(&self) -> SimTime {
+        self.end_time
+    }
+
+    /// `true` when the replay hit the configured time cap before draining.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Number of pods that completed normally.
+    pub fn completed_count(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r.record.outcome, PodOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Number of pods the driver killed at launch.
+    pub fn denied_count(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r.record.outcome, PodOutcome::Denied { .. }))
+            .count()
+    }
+
+    /// Number of pods that could never fit the cluster.
+    pub fn unschedulable_count(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.record.outcome == PodOutcome::Unschedulable)
+            .count()
+    }
+}
+
+/// Replays a workload against a freshly built cluster and orchestrator.
+///
+/// The loop is fully deterministic for a given `(workload, config)` pair.
+pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
+    let mut orch = Orchestrator::new(config.cluster.clone(), config.orchestrator.clone());
+    orch.set_enforce_limits(config.enforce_limits);
+    if let Some(model) = config.cost_model {
+        for node in orch.cluster_mut().nodes_mut() {
+            node.set_cost_model(model);
+        }
+    }
+
+    let scheduler_period = config.orchestrator.scheduler_period;
+    let probe_period = config.orchestrator.probe_period;
+    let cap = SimTime::ZERO + config.max_sim_time;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    for (index, job) in workload.iter().enumerate() {
+        events.schedule(job.submit, Event::Submit(index));
+    }
+    if let Some(mal) = &config.malicious {
+        events.schedule(
+            SimTime::from_secs(mal.submit_at_secs),
+            Event::SubmitMalicious,
+        );
+    }
+    for (index, failure) in config.failures.iter().enumerate() {
+        let at = SimTime::from_secs(failure.fail_at_secs);
+        events.schedule(at, Event::NodeFail(index));
+        events.schedule(at + failure.down_for, Event::NodeRecover(index));
+    }
+    // The periodic loops start with the replay and stop once everything
+    // has drained (they re-arm themselves only while work remains).
+    events.schedule(SimTime::ZERO, Event::SchedulerTick);
+    events.schedule(SimTime::ZERO, Event::ProbeTick);
+
+    let mut uid_to_job: BTreeMap<PodUid, usize> = BTreeMap::new();
+    let mut generation: BTreeMap<PodUid, u32> = BTreeMap::new();
+    let mut malicious_uids: Vec<PodUid> = Vec::new();
+    let mut running = 0usize;
+    let mut submits_remaining = workload.len() + usize::from(config.malicious.is_some());
+    let mut pending_epc_series = TimeSeries::new();
+    let mut pending_memory_series = TimeSeries::new();
+    let mut timed_out = false;
+    let mut end_time = SimTime::ZERO;
+    // The periodic loops de-arm themselves when the cluster drains and
+    // are re-armed by the next submission.
+    let mut sched_armed = true;
+    let mut probe_armed = true;
+
+    while let Some((now, event)) = events.pop() {
+        end_time = now;
+        if now > cap {
+            timed_out = true;
+            break;
+        }
+        match event {
+            Event::Submit(index) => {
+                submits_remaining -= 1;
+                let job = &workload.jobs()[index];
+                let uid = orch.submit(pod_spec_for(job), now);
+                uid_to_job.insert(uid, index);
+                if !sched_armed {
+                    events.schedule(now, Event::SchedulerTick);
+                    sched_armed = true;
+                }
+                if !probe_armed {
+                    events.schedule(now, Event::ProbeTick);
+                    probe_armed = true;
+                }
+            }
+            Event::SubmitMalicious => {
+                submits_remaining -= 1;
+                let mal = config.malicious.expect("event only scheduled when set");
+                // One malicious pod per SGX node ("as many of them as
+                // there are SGX-enabled nodes", §VI-F).
+                let sgx_node_count = orch.cluster().sgx_nodes().count();
+                for i in 0..sgx_node_count {
+                    let spec = PodSpec::builder(format!("malicious-{i}"))
+                        .requirements(ResourceRequirements::exact(Resources::with_epc(
+                            ByteSize::ZERO,
+                            sgx_sim::units::EpcPages::ONE,
+                        )))
+                        .stressor(Stressor::malicious(mal.fraction))
+                        .duration(mal.duration)
+                        .build();
+                    let uid = orch.submit(spec, now);
+                    malicious_uids.push(uid);
+                }
+            }
+            Event::SchedulerTick => {
+                let outcomes = orch.scheduler_pass(now);
+                for outcome in outcomes {
+                    if outcome.report.started() {
+                        running += 1;
+                        let runtime = outcome
+                            .spec_duration
+                            .mul_f64(outcome.slowdown_at_start.max(1.0));
+                        let generation = *generation.entry(outcome.uid).or_insert(0);
+                        events.schedule(
+                            now + outcome.report.startup_delay + runtime,
+                            Event::PodFinish(outcome.uid, generation),
+                        );
+                    }
+                }
+                pending_epc_series
+                    .record(now, orch.queue().epc_requested().as_mib_f64());
+                pending_memory_series
+                    .record(now, orch.queue().memory_requested().as_mib_f64());
+                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                    events.schedule(now + scheduler_period, Event::SchedulerTick);
+                } else {
+                    sched_armed = false;
+                }
+            }
+            Event::ProbeTick => {
+                orch.probe_pass(now);
+                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                    events.schedule(now + probe_period, Event::ProbeTick);
+                } else {
+                    probe_armed = false;
+                }
+            }
+            Event::PodFinish(uid, event_generation) => {
+                if generation.get(&uid).copied().unwrap_or(0) != event_generation {
+                    continue; // stale: the pod crashed and was rescheduled
+                }
+                running -= 1;
+                orch.complete_pod(uid, now)
+                    .expect("finish events only exist for running pods");
+            }
+            Event::NodeFail(index) => {
+                let failure = &config.failures[index];
+                let node = cluster::api::NodeName::new(failure.node.clone());
+                let crashed = orch
+                    .fail_node(&node, now)
+                    .expect("failure injection targets existing nodes");
+                for uid in crashed {
+                    // Invalidate the in-flight finish event and account
+                    // the pod as queued again.
+                    *generation.entry(uid).or_insert(0) += 1;
+                    running -= 1;
+                }
+                if !sched_armed {
+                    events.schedule(now, Event::SchedulerTick);
+                    sched_armed = true;
+                }
+                if !probe_armed {
+                    events.schedule(now, Event::ProbeTick);
+                    probe_armed = true;
+                }
+            }
+            Event::NodeRecover(index) => {
+                let failure = &config.failures[index];
+                let node = cluster::api::NodeName::new(failure.node.clone());
+                orch.recover_node(&node, now)
+                    .expect("failure injection targets existing nodes");
+            }
+        }
+    }
+
+    let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids);
+    ReplayResult {
+        runs,
+        pending_epc_series,
+        pending_memory_series,
+        end_time,
+        timed_out,
+    }
+}
+
+fn build_runs(
+    orch: &Orchestrator,
+    workload: &Workload,
+    uid_to_job: &BTreeMap<PodUid, usize>,
+    malicious_uids: &[PodUid],
+) -> Vec<JobRun> {
+    let mut runs = Vec::with_capacity(orch.records().len());
+    for (uid, record) in orch.records() {
+        let malicious = malicious_uids.contains(uid);
+        let job = uid_to_job
+            .get(uid)
+            .map(|&index| workload.jobs()[index]);
+        runs.push(JobRun {
+            job,
+            record: record.clone(),
+            malicious,
+        });
+    }
+    runs
+}
+
+fn pod_spec_for(job: &WorkloadJob) -> PodSpec {
+    let requests = match job.kind {
+        borg_trace::JobKind::Sgx => Resources::with_epc(ByteSize::ZERO, job.epc_request()),
+        borg_trace::JobKind::Standard => Resources::memory(job.mem_request),
+    };
+    PodSpec::builder(format!("{}", job.id))
+        .requirements(ResourceRequirements::exact(requests))
+        .stressor(Stressor::for_job(job))
+        .duration(job.duration)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_trace::{GeneratorConfig, WorkloadParams};
+    use des::SimDuration;
+
+    fn small_workload(sgx_ratio: f64) -> Workload {
+        let trace = GeneratorConfig::small(11).generate();
+        Workload::materialize(&trace, &WorkloadParams::paper(sgx_ratio, 11))
+    }
+
+    #[test]
+    fn replay_drains_and_completes_most_jobs() {
+        let workload = small_workload(0.5);
+        let result = replay(&workload, &ReplayConfig::paper(1));
+        assert!(!result.timed_out());
+        assert_eq!(result.runs().len(), workload.len());
+        // The small workload fits comfortably: no unschedulable jobs, and
+        // (limits enforced) the over-users die while the rest complete.
+        let finished = result.completed_count() + result.denied_count();
+        assert_eq!(finished, workload.len() - result.unschedulable_count());
+        assert!(result.completed_count() > workload.len() / 2);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let workload = small_workload(0.5);
+        let a = replay(&workload, &ReplayConfig::paper(42));
+        let b = replay(&workload, &ReplayConfig::paper(42));
+        assert_eq!(a.runs(), b.runs());
+        assert_eq!(a.end_time(), b.end_time());
+    }
+
+    #[test]
+    fn limits_enforced_kills_over_users() {
+        let workload = small_workload(1.0);
+        // The driver enforces at EPC-page granularity, so only jobs whose
+        // *page* usage exceeds their *page* request can be denied.
+        let over_users = workload
+            .iter()
+            .filter(|j| j.epc_usage() > j.epc_request())
+            .count();
+        assert!(over_users > 0, "workload should contain over-users");
+        let result = replay(&workload, &ReplayConfig::paper(2));
+        // Over-users are killed at launch when limits are enforced.
+        assert_eq!(
+            result.denied_count(),
+            over_users - result.unschedulable_count().min(over_users)
+        );
+    }
+
+    #[test]
+    fn limits_disabled_lets_over_users_run() {
+        let workload = small_workload(1.0);
+        let result = replay(&workload, &ReplayConfig::paper(2).without_limits());
+        assert_eq!(result.denied_count(), 0);
+    }
+
+    #[test]
+    fn malicious_pods_are_tracked_separately() {
+        let workload = small_workload(1.0);
+        let config = ReplayConfig::paper(3)
+            .without_limits()
+            .with_malicious(crate::MaliciousConfig::squatting(0.5));
+        let result = replay(&workload, &config);
+        let malicious: Vec<_> = result.runs().iter().filter(|r| r.malicious).collect();
+        assert_eq!(malicious.len(), 2); // one per SGX node
+        assert_eq!(result.honest_runs().count(), workload.len());
+    }
+
+    #[test]
+    fn pending_series_is_recorded() {
+        let workload = small_workload(1.0);
+        let result = replay(&workload, &ReplayConfig::paper(4));
+        assert!(!result.pending_epc_series().is_empty());
+        // The queue eventually drains to zero.
+        let last = result.pending_epc_series().points().last().unwrap();
+        assert_eq!(last.1, 0.0);
+    }
+
+    #[test]
+    fn waiting_times_grow_under_contention() {
+        let workload = small_workload(1.0);
+        // Shrink the cluster's EPC to force contention.
+        let tight = ReplayConfig::paper(5).with_cluster(
+            cluster::topology::ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(32)),
+        );
+        let roomy = ReplayConfig::paper(5).with_cluster(
+            cluster::topology::ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(256)),
+        );
+        let tight_result = replay(&workload, &tight);
+        let roomy_result = replay(&workload, &roomy);
+        let mean = |r: &ReplayResult| {
+            let waits: Vec<f64> = r
+                .honest_runs()
+                .filter_map(|run| run.record.waiting_time())
+                .map(|d| d.as_secs_f64())
+                .collect();
+            waits.iter().sum::<f64>() / waits.len().max(1) as f64
+        };
+        assert!(
+            mean(&tight_result) > mean(&roomy_result),
+            "tight {} vs roomy {}",
+            mean(&tight_result),
+            mean(&roomy_result)
+        );
+        assert!(tight_result.end_time() > roomy_result.end_time());
+    }
+
+    #[test]
+    fn unschedulable_jobs_do_not_stall_the_replay() {
+        // 32 MiB nodes with the default 0.25-fraction cap produce jobs up
+        // to 23.4 MiB — all schedulable; an uncapped workload can exceed
+        // node capacity and must be marked unschedulable, not looped on.
+        let trace = GeneratorConfig::small(12).generate();
+        let workload = Workload::materialize(
+            &trace,
+            &WorkloadParams::paper(1.0, 12).without_fraction_cap(),
+        );
+        let config = ReplayConfig::paper(6).with_cluster(
+            cluster::topology::ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(32)),
+        );
+        let result = replay(&workload, &config);
+        assert!(!result.timed_out());
+        assert!(result.unschedulable_count() > 0);
+    }
+
+    #[test]
+    fn node_failures_requeue_and_finish_all_jobs() {
+        let workload = small_workload(1.0);
+        let config = ReplayConfig::paper(9).with_failure(crate::NodeFailure {
+            node: "sgx-1".to_string(),
+            fail_at_secs: 900,
+            down_for: des::SimDuration::from_secs(600),
+        });
+        let faulty = replay(&workload, &config);
+        assert!(!faulty.timed_out());
+        // Every job still reaches a terminal state.
+        let terminal =
+            faulty.completed_count() + faulty.denied_count() + faulty.unschedulable_count();
+        assert_eq!(terminal, workload.len());
+        // The crash costs throughput: waits exceed the healthy run's.
+        let healthy = replay(&workload, &ReplayConfig::paper(9));
+        let mean = |r: &ReplayResult| crate::analysis::mean_waiting_secs(r, None);
+        assert!(
+            mean(&faulty) > mean(&healthy),
+            "faulty {} vs healthy {}",
+            mean(&faulty),
+            mean(&healthy)
+        );
+    }
+
+    #[test]
+    fn failed_node_failures_are_deterministic() {
+        let workload = small_workload(0.5);
+        let config = ReplayConfig::paper(10).with_failure(crate::NodeFailure {
+            node: "std-1".to_string(),
+            fail_at_secs: 600,
+            down_for: des::SimDuration::from_secs(1200),
+        });
+        let a = replay(&workload, &config);
+        let b = replay(&workload, &config);
+        assert_eq!(a.runs(), b.runs());
+    }
+
+    #[test]
+    fn scheduler_period_bounds_minimum_wait() {
+        let workload = small_workload(0.0);
+        let result = replay(&workload, &ReplayConfig::paper(7));
+        for run in result.honest_runs() {
+            if let Some(wait) = run.record.waiting_time() {
+                // Jobs can never start before the next scheduling pass.
+                assert!(wait <= SimDuration::from_hours(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Container image metadata (§V-F).
+//!
+//! SGX applications built with the Intel SDK depend on the Platform
+//! Software (PSW) and its AESM service. Because the paper keeps containers
+//! unprivileged, every SGX container ships its own PSW — that is what the
+//! `sebvaucher/sgx-base` image provides, and why SGX containers pay the
+//! ≈100 ms AESM startup cost on every launch.
+
+use serde::{Deserialize, Serialize};
+
+use sgx_sim::units::ByteSize;
+
+/// Name of the paper's public base image for SGX applications.
+pub const SGX_BASE_IMAGE_NAME: &str = "sebvaucher/sgx-base";
+
+/// Metadata of a container image referenced by a pod spec.
+///
+/// # Examples
+///
+/// ```
+/// use stress::ContainerImage;
+///
+/// let image = ContainerImage::sgx_base();
+/// assert!(image.bundles_psw());
+/// let plain = ContainerImage::new("stress-ng", false);
+/// assert!(!plain.bundles_psw());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContainerImage {
+    name: String,
+    bundles_psw: bool,
+}
+
+impl ContainerImage {
+    /// Creates an image record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>, bundles_psw: bool) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "image name must not be empty");
+        ContainerImage { name, bundles_psw }
+    }
+
+    /// The paper's SGX base image: Intel SDK runtime plus PSW/AESM.
+    pub fn sgx_base() -> Self {
+        ContainerImage::new(SGX_BASE_IMAGE_NAME, true)
+    }
+
+    /// A plain STRESS-NG image for standard jobs.
+    pub fn stress_ng() -> Self {
+        ContainerImage::new("stress-ng", false)
+    }
+
+    /// The image name (registry reference).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the image ships its own PSW/AESM instance. Containers built
+    /// on such images pay the AESM startup delay measured in Fig. 6.
+    pub fn bundles_psw(&self) -> bool {
+        self.bundles_psw
+    }
+
+    /// Nominal on-disk size used when modelling registry pulls.
+    pub fn nominal_size(&self) -> ByteSize {
+        if self.bundles_psw {
+            // SDK + PSW layers on top of the base OS layer.
+            ByteSize::from_mib(420)
+        } else {
+            ByteSize::from_mib(180)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let sgx = ContainerImage::sgx_base();
+        assert_eq!(sgx.name(), SGX_BASE_IMAGE_NAME);
+        assert!(sgx.bundles_psw());
+        assert!(sgx.nominal_size() > ContainerImage::stress_ng().nominal_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_name_rejected() {
+        let _ = ContainerImage::new("", false);
+    }
+}

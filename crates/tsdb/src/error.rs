@@ -1,0 +1,63 @@
+//! Error type for the time-series database.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when parsing or validating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TsdbError {
+    /// The InfluxQL text could not be tokenised.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The token stream does not match the supported grammar.
+    Parse {
+        /// Description of the problem, including what was expected.
+        message: String,
+    },
+    /// The query references an aggregate function the engine does not know.
+    UnknownAggregate(String),
+}
+
+impl fmt::Display for TsdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsdbError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            TsdbError::Parse { message } => write!(f, "parse error: {message}"),
+            TsdbError::UnknownAggregate(name) => {
+                write!(f, "unknown aggregate function `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for TsdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = TsdbError::Lex {
+            position: 3,
+            message: "bad char".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(TsdbError::UnknownAggregate("MEDIAN".into())
+            .to_string()
+            .contains("MEDIAN"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TsdbError>();
+    }
+}

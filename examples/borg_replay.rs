@@ -1,0 +1,62 @@
+//! Replay the prepared Google-Borg-derived trace against the SGX-aware
+//! orchestrator, as in §VI-E of the paper.
+//!
+//! ```text
+//! cargo run --release -p examples --bin borg_replay [seed] [sgx_ratio] [scheduler]
+//! # e.g.
+//! cargo run --release -p examples --bin borg_replay 42 0.5 sgx-spread
+//! ```
+
+use borg_trace::JobKind;
+use sgx_orchestrator::prelude::*;
+use simulation::analysis::{mean_waiting_secs, total_turnaround, waiting_cdf};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let ratio: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scheduler = args.next().unwrap_or_else(|| SGX_BINPACK.to_string());
+
+    println!("replaying paper-scale trace: seed={seed} sgx_ratio={ratio} scheduler={scheduler}");
+    let experiment = Experiment::paper_replay(seed)
+        .sgx_ratio(ratio)
+        .scheduler(&scheduler);
+
+    let workload = experiment.workload();
+    println!(
+        "workload: {} jobs ({} SGX), useful duration {:.1} h",
+        workload.len(),
+        workload.sgx_count(),
+        workload.total_duration().as_hours_f64(),
+    );
+
+    let result = experiment.run();
+    println!(
+        "replay finished at {} (timed out: {})",
+        result.end_time(),
+        result.timed_out(),
+    );
+    println!(
+        "completed {} | denied at launch {} | unschedulable {}",
+        result.completed_count(),
+        result.denied_count(),
+        result.unschedulable_count(),
+    );
+    for kind in [JobKind::Standard, JobKind::Sgx] {
+        let cdf = waiting_cdf(&result, Some(kind));
+        if cdf.is_empty() {
+            continue;
+        }
+        println!(
+            "{kind:>9} jobs: mean wait {:>6.1} s | p95 {:>6.0} s | max {:>6.0} s | Σ turnaround {:>6.1} h",
+            mean_waiting_secs(&result, Some(kind)),
+            cdf.quantile(0.95).unwrap_or(0.0),
+            cdf.max().unwrap_or(0.0),
+            total_turnaround(&result, Some(kind)).as_hours_f64(),
+        );
+    }
+    println!(
+        "peak pending EPC backlog: {:.0} MiB",
+        result.pending_epc_series().peak().unwrap_or(0.0)
+    );
+}

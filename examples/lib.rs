@@ -1,0 +1,2 @@
+//! Placeholder library target; the runnable examples are the `[[bin]]`
+//! targets declared in this package's `Cargo.toml`.

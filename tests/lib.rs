@@ -1,0 +1,2 @@
+//! Placeholder library target; the real content of this package lives in its
+//! integration-test targets (one per `*.rs` file declared in `Cargo.toml`).

@@ -1,0 +1,169 @@
+//! The paper's qualitative claims, asserted as tests (at quick scale so
+//! the suite stays fast; the full-scale numbers live in the `fig*` bench
+//! binaries and `EXPERIMENTS.md`).
+
+use borg_trace::JobKind;
+use sgx_orchestrator::Experiment;
+use sgx_sim::cost::CostModel;
+use sgx_sim::units::{ByteSize, USABLE_EPC};
+use simulation::analysis::{mean_waiting_secs, waiting_cdf};
+
+/// §VI-D / Fig. 7: bigger EPCs drain the backlog faster, monotonically,
+/// and a large-enough EPC shows no contention at all.
+#[test]
+fn fig7_claim_bigger_epc_smaller_makespan() {
+    let makespans: Vec<_> = [32u64, 64, 128, 256]
+        .iter()
+        .map(|&mib| {
+            Experiment::quick(42)
+                .sgx_ratio(1.0)
+                .epc_total(ByteSize::from_mib(mib))
+                .run()
+                .end_time()
+        })
+        .collect();
+    for pair in makespans.windows(2) {
+        assert!(pair[0] >= pair[1], "makespans must not increase: {makespans:?}");
+    }
+    assert!(
+        makespans[0] > makespans[3],
+        "32 MiB must be visibly slower than 256 MiB"
+    );
+    // 128 vs 256 MiB: contention has essentially vanished.
+    let rel = makespans[2].as_secs_f64() / makespans[3].as_secs_f64();
+    assert!(rel < 1.1, "128 vs 256 MiB ratio {rel}");
+}
+
+/// Fig. 8: waiting times grow with the share of SGX jobs; small shares
+/// stay close to the no-SGX baseline.
+#[test]
+fn fig8_claim_waits_grow_with_sgx_share() {
+    let mean_wait = |ratio: f64| {
+        let result = Experiment::quick(42)
+            .sgx_ratio(ratio)
+            .epc_total(ByteSize::from_mib(48))
+            .run();
+        mean_waiting_secs(&result, None)
+    };
+    let none = mean_wait(0.0);
+    let half = mean_wait(0.5);
+    let full = mean_wait(1.0);
+    assert!(
+        full > 2.0 * none,
+        "pure SGX ({full:.1}s) must clearly exceed no-SGX ({none:.1}s)"
+    );
+    assert!(
+        half < (none + full) / 2.0,
+        "50 % SGX ({half:.1}s) stays closer to the no-SGX baseline"
+    );
+}
+
+/// Fig. 6: the startup model's two regimes and the ≈100 ms PSW constant.
+#[test]
+fn fig6_claim_startup_regimes() {
+    let m = CostModel::paper_defaults();
+    // Below the usable limit: 1.6 ms/MiB.
+    let a = m.allocation_time(ByteSize::from_mib(20), USABLE_EPC);
+    let b = m.allocation_time(ByteSize::from_mib(40), USABLE_EPC);
+    let slope_below = (b.as_millis_f64() - a.as_millis_f64()) / 20.0;
+    assert!((slope_below - 1.6).abs() < 0.01);
+    // Above: 4.5 ms/MiB plus a fixed jump.
+    let c = m.allocation_time(ByteSize::from_mib(100), USABLE_EPC);
+    let d = m.allocation_time(ByteSize::from_mib(120), USABLE_EPC);
+    let slope_above = (d.as_millis_f64() - c.as_millis_f64()) / 20.0;
+    assert!((slope_above - 4.5).abs() < 0.01);
+    assert!(c > b + des::SimDuration::from_millis(200));
+    assert_eq!(m.psw_startup().as_millis(), 100);
+}
+
+/// Fig. 11: strict limits annihilate the malicious containers' effect —
+/// honest waits with limits on and squatters present stay near the
+/// trace-only baseline, while disabling limits degrades with the stolen
+/// fraction.
+#[test]
+fn fig11_claim_limits_annihilate_the_attack() {
+    let base = || {
+        Experiment::quick(42)
+            .sgx_ratio(1.0)
+            .epc_total(ByteSize::from_mib(64))
+    };
+    let protected = base().malicious(0.5).run();
+    let baseline = base().limits(false).run();
+    let stolen_quarter = base().limits(false).malicious(0.25).run();
+    let stolen_half = base().limits(false).malicious(0.5).run();
+
+    let p95 = |r: &simulation::ReplayResult| {
+        waiting_cdf(r, None).quantile(0.95).unwrap_or(0.0)
+    };
+    assert!(
+        p95(&stolen_half) > p95(&stolen_quarter),
+        "more stolen EPC, longer waits: {} vs {}",
+        p95(&stolen_half),
+        p95(&stolen_quarter)
+    );
+    assert!(
+        p95(&stolen_half) > 3.0 * p95(&baseline),
+        "the unprotected attack must hurt: {} vs baseline {}",
+        p95(&stolen_half),
+        p95(&baseline)
+    );
+    assert!(
+        p95(&protected) < 2.0 * p95(&baseline),
+        "enforcement keeps honest waits near the baseline: {} vs {}",
+        p95(&protected),
+        p95(&baseline)
+    );
+}
+
+/// §VI-F: the incentive structure — malicious pods are killed at launch
+/// when enforcement is on, and so are trace jobs that under-declare.
+#[test]
+fn fig11_claim_denials_fall_on_over_users() {
+    let result = Experiment::quick(42)
+        .sgx_ratio(1.0)
+        .malicious(0.5)
+        .run();
+    for run in result.runs() {
+        let denied = matches!(
+            run.record.outcome,
+            orchestrator::PodOutcome::Denied { .. }
+        );
+        if run.malicious {
+            assert!(denied, "malicious squatters must be denied");
+        }
+        if denied && !run.malicious {
+            let job = run.job.expect("honest runs carry their job");
+            assert!(
+                job.epc_usage() > job.epc_request(),
+                "only page-level over-users may be denied"
+            );
+        }
+    }
+}
+
+/// The measured-usage scheduler routes around stolen EPC that the
+/// requests-only scheduler cannot see (the paper's core design claim).
+#[test]
+fn measured_usage_beats_requests_only_under_attack() {
+    let run = |scheduler: &str| {
+        Experiment::quick(42)
+            .sgx_ratio(1.0)
+            .epc_total(ByteSize::from_mib(64))
+            .scheduler(scheduler)
+            .limits(false)
+            .malicious(0.5)
+            .run()
+    };
+    let aware = run(orchestrator::SGX_BINPACK);
+    let blind = run(orchestrator::DEFAULT_SCHEDULER);
+    // The blind scheduler over-commits the node, so its jobs suffer the
+    // paging slowdown; turnarounds inflate.
+    let aware_t = simulation::analysis::total_turnaround(&aware, Some(JobKind::Sgx));
+    let blind_t = simulation::analysis::total_turnaround(&blind, Some(JobKind::Sgx));
+    assert!(
+        blind_t > aware_t,
+        "blind {} h vs aware {} h",
+        blind_t.as_hours_f64(),
+        aware_t.as_hours_f64()
+    );
+}

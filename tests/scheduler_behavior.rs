@@ -1,0 +1,145 @@
+//! SGX-awareness invariants of the scheduling layer, exercised through
+//! the full orchestrator (not just the policy functions).
+
+use cluster::api::PodSpec;
+use cluster::topology::ClusterSpec;
+use des::{SimDuration, SimTime};
+use orchestrator::{
+    Orchestrator, OrchestratorConfig, PodOutcome, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD,
+};
+use sgx_sim::units::ByteSize;
+
+fn orch(default_scheduler: &str) -> Orchestrator {
+    Orchestrator::new(
+        ClusterSpec::paper_cluster(),
+        OrchestratorConfig::paper().with_default_scheduler(default_scheduler),
+    )
+}
+
+fn sgx_pod(name: &str, mib: u64) -> PodSpec {
+    PodSpec::builder(name)
+        .sgx_resources(ByteSize::from_mib(mib))
+        .duration(SimDuration::from_secs(60))
+        .build()
+}
+
+fn std_pod(name: &str, gib: u64) -> PodSpec {
+    PodSpec::builder(name)
+        .memory_resources(ByteSize::from_gib(gib))
+        .duration(SimDuration::from_secs(60))
+        .build()
+}
+
+#[test]
+fn sgx_aware_schedulers_preserve_sgx_nodes_for_sgx_jobs() {
+    for scheduler in [SGX_BINPACK, SGX_SPREAD] {
+        let mut orch = orch(scheduler);
+        for i in 0..20 {
+            orch.submit(std_pod(&format!("std-{i}"), 2), SimTime::ZERO);
+        }
+        for outcome in orch.scheduler_pass(SimTime::from_secs(5)) {
+            assert!(
+                outcome.node.as_str().starts_with("std"),
+                "{scheduler}: standard pod landed on {} with standard capacity free",
+                outcome.node
+            );
+        }
+    }
+}
+
+#[test]
+fn standard_jobs_fall_back_to_sgx_nodes_only_when_necessary() {
+    let mut orch = orch(SGX_BINPACK);
+    // Fill both standard nodes (2 × 64 GiB) with 60 GiB pods, twice.
+    for i in 0..2 {
+        orch.submit(std_pod(&format!("big-{i}"), 60), SimTime::ZERO);
+    }
+    orch.scheduler_pass(SimTime::from_secs(5));
+    // 4 GiB pods now only fit the 8 GiB SGX machines.
+    orch.submit(std_pod("spill", 6), SimTime::from_secs(6));
+    let outcomes = orch.scheduler_pass(SimTime::from_secs(10));
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].node.as_str().starts_with("sgx"));
+}
+
+#[test]
+fn binpack_concentrates_while_spread_balances() {
+    let mut binpack = orch(SGX_BINPACK);
+    let mut spread = orch(SGX_SPREAD);
+    for orch in [&mut binpack, &mut spread] {
+        for i in 0..4 {
+            orch.submit(sgx_pod(&format!("e{i}"), 10), SimTime::ZERO);
+        }
+    }
+    let nodes_used = |outcomes: &[orchestrator::BindOutcome]| {
+        let mut nodes: Vec<&str> = outcomes.iter().map(|o| o.node.as_str()).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes.len()
+    };
+    let b = binpack.scheduler_pass(SimTime::from_secs(5));
+    let s = spread.scheduler_pass(SimTime::from_secs(5));
+    assert_eq!(nodes_used(&b), 1, "binpack fills one node first");
+    assert_eq!(nodes_used(&s), 2, "spread balances across both SGX nodes");
+}
+
+#[test]
+fn stock_scheduler_is_not_sgx_aware() {
+    let mut orch = orch(DEFAULT_SCHEDULER);
+    orch.submit(std_pod("p", 2), SimTime::ZERO);
+    let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+    // Least-requested across all nodes: the (empty) SGX node wins the
+    // tie-break — exactly the behaviour the paper's scheduler fixes.
+    assert!(outcomes[0].node.as_str().starts_with("sgx"));
+}
+
+#[test]
+fn fcfs_is_a_priority_not_head_of_line_blocking() {
+    let mut orch = orch(SGX_BINPACK);
+    // Two 60 MiB pods occupy both SGX nodes.
+    orch.submit(sgx_pod("a", 60), SimTime::ZERO);
+    orch.submit(sgx_pod("b", 60), SimTime::ZERO);
+    // A third 60 MiB pod cannot fit; a later 10 MiB pod can.
+    let blocked = orch.submit(sgx_pod("c", 60), SimTime::ZERO);
+    let small = orch.submit(sgx_pod("d", 10), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    assert!(matches!(
+        orch.record(blocked).unwrap().outcome,
+        PodOutcome::Pending
+    ));
+    assert!(matches!(
+        orch.record(small).unwrap().outcome,
+        PodOutcome::Running { .. }
+    ));
+}
+
+#[test]
+fn multi_scheduler_deployment_routes_per_pod() {
+    // As in §V-B: several schedulers run side by side; each pod names its
+    // own. The default only handles unrouted pods.
+    let mut orch = orch(SGX_BINPACK);
+    let mut spread_pod = sgx_pod("via-spread", 10);
+    spread_pod.scheduler = Some(SGX_SPREAD.to_string());
+    let mut stock_pod = std_pod("via-stock", 1);
+    stock_pod.scheduler = Some(DEFAULT_SCHEDULER.to_string());
+    let unrouted = sgx_pod("via-default", 10);
+
+    orch.submit(spread_pod, SimTime::ZERO);
+    orch.submit(stock_pod, SimTime::ZERO);
+    orch.submit(unrouted, SimTime::ZERO);
+    let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+    assert_eq!(outcomes.len(), 3);
+    for outcome in &outcomes {
+        assert!(outcome.report.started());
+    }
+}
+
+#[test]
+fn queue_wait_includes_the_scheduling_period() {
+    let mut orch = orch(SGX_BINPACK);
+    let uid = orch.submit(sgx_pod("p", 10), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    let waiting = orch.record(uid).unwrap().waiting_time().unwrap();
+    assert!(waiting >= SimDuration::from_secs(5));
+    assert!(waiting < SimDuration::from_secs(6)); // + startup only
+}
