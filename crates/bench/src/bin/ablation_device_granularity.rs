@@ -6,13 +6,12 @@
 //! request to the node's full usable EPC (a pod then owns the whole
 //! "device"), and compares throughput against per-page granularity.
 
-use bench::{fmt_hm, section, table};
+use bench::{fmt_hm, run_jobs, section, table};
 use borg_trace::{JobKind, Workload};
 use des::SimTime;
 use sgx_orchestrator::Experiment;
 use sgx_sim::units::USABLE_EPC;
 use simulation::analysis::mean_waiting_secs;
-use simulation::replay;
 
 fn main() {
     let seed = 42;
@@ -33,13 +32,19 @@ fn main() {
         .collect();
 
     section("Ablation: device-plugin granularity (30 % SGX jobs, quick trace)");
+    let labels = ["per page (paper)", "per device"];
+    let jobs: Vec<simulation::SweepJob> = [&per_page, &per_device]
+        .into_iter()
+        .map(|workload| (workload.clone(), exp.replay_config()))
+        .collect();
+    let results = run_jobs(&jobs);
+
     let mut rows = Vec::new();
-    for (label, workload) in [("per page (paper)", &per_page), ("per device", &per_device)] {
-        let result = replay(workload, &exp.replay_config());
+    for (label, result) in labels.iter().zip(&results) {
         rows.push(vec![
             label.to_string(),
-            format!("{:.0}", mean_waiting_secs(&result, Some(JobKind::Sgx))),
-            format!("{:.0}", mean_waiting_secs(&result, Some(JobKind::Standard))),
+            format!("{:.0}", mean_waiting_secs(result, Some(JobKind::Sgx))),
+            format!("{:.0}", mean_waiting_secs(result, Some(JobKind::Standard))),
             result.completed_count().to_string(),
             fmt_hm(result.end_time().saturating_since(SimTime::ZERO)),
         ]);

@@ -12,7 +12,7 @@
 //! already stolen, thrashing them with paging, while the measured-usage
 //! scheduler routes around the theft.
 
-use bench::{fmt_hm, section, table};
+use bench::{fmt_hm, run_experiments, section, table};
 use borg_trace::JobKind;
 use des::{SimDuration, SimTime};
 use orchestrator::{DEFAULT_SCHEDULER, SGX_BINPACK};
@@ -35,7 +35,8 @@ fn main() {
     let seed = 42;
 
     section("Ablation: measured-usage vs requests-only scheduling (paper-scale replay)");
-    let mut rows = Vec::new();
+    let mut variants = Vec::new();
+    let mut experiments = Vec::new();
     for (scenario, attack) in [("honest", false), ("under attack (limits off)", true)] {
         for scheduler in [SGX_BINPACK, DEFAULT_SCHEDULER] {
             let mut exp = Experiment::paper_replay(seed)
@@ -44,19 +45,25 @@ fn main() {
             if attack {
                 exp = exp.limits(false).malicious(0.5);
             }
-            let result = exp.run();
-            rows.push(vec![
-                scenario.to_string(),
-                scheduler.to_string(),
-                format!("{:.0}", mean_waiting_secs(&result, Some(JobKind::Sgx))),
-                format!(
-                    "{:.0}",
-                    total_turnaround(&result, Some(JobKind::Sgx)).as_hours_f64()
-                ),
-                result.completed_count().to_string(),
-                fmt_hm(honest_makespan(&result)),
-            ]);
+            variants.push((scenario, scheduler));
+            experiments.push(exp);
         }
+    }
+    let results = run_experiments(&experiments);
+
+    let mut rows = Vec::new();
+    for (&(scenario, scheduler), result) in variants.iter().zip(&results) {
+        rows.push(vec![
+            scenario.to_string(),
+            scheduler.to_string(),
+            format!("{:.0}", mean_waiting_secs(result, Some(JobKind::Sgx))),
+            format!(
+                "{:.0}",
+                total_turnaround(result, Some(JobKind::Sgx)).as_hours_f64()
+            ),
+            result.completed_count().to_string(),
+            fmt_hm(honest_makespan(result)),
+        ]);
     }
     table(
         &[

@@ -12,13 +12,12 @@
 //! node, so the paging curve never engages under it — which is itself the
 //! paper's argument for measured-usage scheduling.
 
-use bench::{fmt_hm, section, table};
+use bench::{fmt_hm, run_jobs, section, table};
 use borg_trace::JobKind;
 use des::SimTime;
 use sgx_orchestrator::Experiment;
 use sgx_sim::cost::CostModel;
 use simulation::analysis::total_turnaround;
-use simulation::replay;
 
 fn main() {
     let seed = 42;
@@ -30,12 +29,23 @@ fn main() {
     let workload = exp.workload();
 
     section("Ablation: paging-slowdown curve under the Fig. 11 attack (paper scale)");
+    let curves = [
+        ("no penalty", 0.0),
+        ("paper-calibrated", 9.0),
+        ("harsh", 100.0),
+    ];
+    let jobs: Vec<simulation::SweepJob> = curves
+        .iter()
+        .map(|&(_, slope)| {
+            let mut model = CostModel::paper_defaults();
+            model.paging_slowdown_slope = slope;
+            (workload.clone(), exp.replay_config().with_cost_model(model))
+        })
+        .collect();
+    let results = run_jobs(&jobs);
+
     let mut rows = Vec::new();
-    for (label, slope) in [("no penalty", 0.0), ("paper-calibrated", 9.0), ("harsh", 100.0)] {
-        let mut model = CostModel::paper_defaults();
-        model.paging_slowdown_slope = slope;
-        let config = exp.replay_config().with_cost_model(model);
-        let result = replay(&workload, &config);
+    for (&(label, slope), result) in curves.iter().zip(&results) {
         let honest_makespan = result
             .honest_runs()
             .filter_map(|run| run.record.finished_at)
@@ -47,7 +57,7 @@ fn main() {
             format!("{slope}"),
             format!(
                 "{:.0}",
-                total_turnaround(&result, Some(JobKind::Sgx)).as_hours_f64()
+                total_turnaround(result, Some(JobKind::Sgx)).as_hours_f64()
             ),
             result.completed_count().to_string(),
             fmt_hm(honest_makespan),

@@ -5,7 +5,7 @@
 //! spread 129 (standard) / 275 (SGX). Binpack wins; SGX jobs need a bit
 //! less than twice the time of standard ones.
 
-use bench::{section, table};
+use bench::{run_experiments, section, table};
 use orchestrator::{SGX_BINPACK, SGX_SPREAD};
 use sgx_orchestrator::Experiment;
 use simulation::analysis::total_turnaround;
@@ -22,32 +22,32 @@ fn main() {
         .as_hours_f64();
 
     section("Fig. 10: total turnaround time [h]");
+    let variants = [
+        (SGX_BINPACK, 0.0, "binpack / standard", "111"),
+        (SGX_BINPACK, 1.0, "binpack / SGX", "210"),
+        (SGX_SPREAD, 0.0, "spread / standard", "129"),
+        (SGX_SPREAD, 1.0, "spread / SGX", "275"),
+    ];
+    let experiments: Vec<Experiment> = variants
+        .iter()
+        .map(|&(scheduler, ratio, _, _)| {
+            Experiment::paper_replay(seed)
+                .sgx_ratio(ratio)
+                .scheduler(scheduler)
+        })
+        .collect();
+    let results = run_experiments(&experiments);
+
     let mut rows = vec![vec![
         "trace (useful duration)".to_string(),
         format!("{trace_hours:.0}"),
         "94".to_string(),
     ]];
-    for (scheduler, label, paper_std, paper_sgx) in [
-        (SGX_BINPACK, "binpack", "111", "210"),
-        (SGX_SPREAD, "spread", "129", "275"),
-    ] {
-        let standard = Experiment::paper_replay(seed)
-            .sgx_ratio(0.0)
-            .scheduler(scheduler)
-            .run();
+    for (&(_, _, label, paper), result) in variants.iter().zip(&results) {
         rows.push(vec![
-            format!("{label} / standard"),
-            format!("{:.0}", total_turnaround(&standard, None).as_hours_f64()),
-            paper_std.to_string(),
-        ]);
-        let sgx = Experiment::paper_replay(seed)
-            .sgx_ratio(1.0)
-            .scheduler(scheduler)
-            .run();
-        rows.push(vec![
-            format!("{label} / SGX"),
-            format!("{:.0}", total_turnaround(&sgx, None).as_hours_f64()),
-            paper_sgx.to_string(),
+            label.to_string(),
+            format!("{:.0}", total_turnaround(result, None).as_hours_f64()),
+            paper.to_string(),
         ]);
     }
     table(&["run", "measured [h]", "paper [h]"], &rows);

@@ -8,7 +8,7 @@
 //! trace-only baseline because the 44 over-using trace jobs are killed at
 //! launch too.
 
-use bench::{quantile_headers, quantile_row, section, table};
+use bench::{quantile_headers, quantile_row, run_experiments, section, table};
 use sgx_orchestrator::Experiment;
 use simulation::analysis::waiting_cdf;
 
@@ -20,15 +20,22 @@ fn main() {
     let runs: Vec<(&str, sgx_orchestrator::Experiment)> = vec![
         ("limits on,  50% EPC stolen", base().malicious(0.5)),
         ("limits off, trace jobs only", base().limits(false)),
-        ("limits off, 25% EPC stolen", base().limits(false).malicious(0.25)),
-        ("limits off, 50% EPC stolen", base().limits(false).malicious(0.5)),
+        (
+            "limits off, 25% EPC stolen",
+            base().limits(false).malicious(0.25),
+        ),
+        (
+            "limits off, 50% EPC stolen",
+            base().limits(false).malicious(0.5),
+        ),
     ];
+    let experiments: Vec<Experiment> = runs.iter().map(|(_, exp)| exp.clone()).collect();
+    let results = run_experiments(&experiments);
 
     let mut rows = Vec::new();
     let mut denied_with_limits = 0;
-    for (label, experiment) in &runs {
-        let result = experiment.run();
-        let cdf = waiting_cdf(&result, None);
+    for ((label, _), result) in runs.iter().zip(&results) {
+        let cdf = waiting_cdf(result, None);
         rows.push(quantile_row(label, &cdf));
         if label.starts_with("limits on") {
             denied_with_limits = result.denied_count();

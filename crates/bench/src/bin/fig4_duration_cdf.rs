@@ -29,5 +29,8 @@ fn main() {
         "  max duration: {:.0} s (paper: all jobs last at most 300 s)",
         cdf.max().unwrap_or(0.0)
     );
-    println!("  median duration: {:.0} s", cdf.quantile(0.5).unwrap_or(0.0));
+    println!(
+        "  median duration: {:.0} s",
+        cdf.quantile(0.5).unwrap_or(0.0)
+    );
 }

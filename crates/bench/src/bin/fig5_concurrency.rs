@@ -39,7 +39,11 @@ fn main() {
             vec![
                 format!("{:.1}", secs as f64 / 3600.0),
                 format!("{:.0}", c / 1000.0),
-                if in_slice { "← replayed slice".into() } else { String::new() },
+                if in_slice {
+                    "← replayed slice".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();

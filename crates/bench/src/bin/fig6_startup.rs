@@ -48,11 +48,19 @@ fn main() {
 
     // The two linear regimes, recovered from the model the same way the
     // paper fits its measurements.
-    let below = (model.allocation_time(ByteSize::from_mib(64), USABLE_EPC).as_millis_f64()
-        - model.allocation_time(ByteSize::from_mib(32), USABLE_EPC).as_millis_f64())
+    let below = (model
+        .allocation_time(ByteSize::from_mib(64), USABLE_EPC)
+        .as_millis_f64()
+        - model
+            .allocation_time(ByteSize::from_mib(32), USABLE_EPC)
+            .as_millis_f64())
         / 32.0;
-    let above = (model.allocation_time(ByteSize::from_mib(128), USABLE_EPC).as_millis_f64()
-        - model.allocation_time(ByteSize::from_mib(112), USABLE_EPC).as_millis_f64())
+    let above = (model
+        .allocation_time(ByteSize::from_mib(128), USABLE_EPC)
+        .as_millis_f64()
+        - model
+            .allocation_time(ByteSize::from_mib(112), USABLE_EPC)
+            .as_millis_f64())
         / 16.0;
     let jump = model
         .allocation_time(ByteSize::from_mib_f64(94.0), USABLE_EPC)

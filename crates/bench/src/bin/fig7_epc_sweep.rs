@@ -7,7 +7,7 @@
 //! (32 MiB), 2 h 47 m (64 MiB), 1 h 22 m (128 MiB), 1 h 00 m (256 MiB —
 //! no contention at all).
 
-use bench::{fmt_hm, section, table};
+use bench::{fmt_hm, run_experiments, section, table};
 use des::{SimDuration, SimTime};
 use sgx_orchestrator::Experiment;
 use sgx_sim::units::ByteSize;
@@ -18,14 +18,19 @@ fn main() {
     let paper_makespans = ["4h47m", "2h47m", "1h22m", "1h00m"];
 
     section("Fig. 7: pending EPC requests over time per simulated EPC size");
-    let mut results = Vec::new();
-    for &mib in &sizes {
-        let result = Experiment::paper_replay(seed)
-            .sgx_ratio(1.0)
-            .epc_total(ByteSize::from_mib(mib))
-            .run();
-        results.push((mib, result));
-    }
+    let experiments: Vec<Experiment> = sizes
+        .iter()
+        .map(|&mib| {
+            Experiment::paper_replay(seed)
+                .sgx_ratio(1.0)
+                .epc_total(ByteSize::from_mib(mib))
+        })
+        .collect();
+    let results: Vec<_> = sizes
+        .iter()
+        .copied()
+        .zip(run_experiments(&experiments))
+        .collect();
 
     // The backlog series, one column per EPC size, max within 20 min
     // buckets (the paper's x-axis spans 0–300 min).
@@ -53,7 +58,13 @@ fn main() {
         t += bucket;
     }
     table(
-        &["t [min]", "32 MiB [MiB]", "64 MiB [MiB]", "128 MiB [MiB]", "256 MiB [MiB]"],
+        &[
+            "t [min]",
+            "32 MiB [MiB]",
+            "64 MiB [MiB]",
+            "128 MiB [MiB]",
+            "256 MiB [MiB]",
+        ],
         &rows,
     );
 
@@ -72,7 +83,13 @@ fn main() {
         })
         .collect();
     table(
-        &["EPC [MiB]", "measured", "paper", "peak backlog [MiB]", "unschedulable"],
+        &[
+            "EPC [MiB]",
+            "measured",
+            "paper",
+            "peak backlog [MiB]",
+            "unschedulable",
+        ],
         &rows,
     );
 }

@@ -5,7 +5,7 @@
 //! very close to it; the pure-SGX run's tail "goes off the chart" with a
 //! longest wait of 4696 s — more than any job's duration.
 
-use bench::{quantile_headers, quantile_row, section, table};
+use bench::{quantile_headers, quantile_row, run_experiments, section, table};
 use sgx_orchestrator::Experiment;
 use simulation::analysis::waiting_cdf;
 
@@ -14,18 +14,20 @@ fn main() {
     let ratios = [0.0, 0.25, 0.5, 0.75, 1.0];
 
     section("Fig. 8: CDF of waiting times by SGX-job share (binpack) [s]");
+    let experiments: Vec<Experiment> = ratios
+        .iter()
+        .map(|&ratio| Experiment::paper_replay(seed).sgx_ratio(ratio))
+        .collect();
+    let results = run_experiments(&experiments);
+
     let mut rows = Vec::new();
     let mut max_wait_full_sgx = 0.0_f64;
-    for &ratio in &ratios {
-        let result = Experiment::paper_replay(seed).sgx_ratio(ratio).run();
-        let cdf = waiting_cdf(&result, None);
+    for (&ratio, result) in ratios.iter().zip(&results) {
+        let cdf = waiting_cdf(result, None);
         if ratio == 1.0 {
             max_wait_full_sgx = cdf.max().unwrap_or(0.0);
         }
-        rows.push(quantile_row(
-            &format!("{:>3.0}% SGX", ratio * 100.0),
-            &cdf,
-        ));
+        rows.push(quantile_row(&format!("{:>3.0}% SGX", ratio * 100.0), &cdf));
     }
     table(&quantile_headers(), &rows);
 

@@ -5,7 +5,7 @@
 //! consistently worse than binpack; binpack handles bigger requests
 //! better; SGX and standard jobs wait similarly.
 
-use bench::{section, table};
+use bench::{run_experiments, section, table};
 use borg_trace::JobKind;
 use orchestrator::{SGX_BINPACK, SGX_SPREAD};
 use sgx_orchestrator::Experiment;
@@ -14,33 +14,25 @@ use simulation::analysis::{mean_waiting_secs, waiting_by_request};
 
 fn main() {
     let seed = 42;
-    for scheduler in [SGX_SPREAD, SGX_BINPACK] {
-        let result = Experiment::paper_replay(seed)
-            .sgx_ratio(0.5)
-            .scheduler(scheduler)
-            .run();
+    let schedulers = [SGX_SPREAD, SGX_BINPACK];
+    let experiments: Vec<Experiment> = schedulers
+        .iter()
+        .map(|&scheduler| {
+            Experiment::paper_replay(seed)
+                .sgx_ratio(0.5)
+                .scheduler(scheduler)
+        })
+        .collect();
+    let results = run_experiments(&experiments);
 
+    for (&scheduler, result) in schedulers.iter().zip(&results) {
         section(&format!(
             "Fig. 9 ({scheduler}): average waiting time by memory request"
         ));
 
         // SGX jobs: requests up to ~23 MiB (x-axis 0–25 MiB in the paper).
         let rows: Vec<Vec<String>> =
-            waiting_by_request(&result, JobKind::Sgx, ByteSize::from_mib(5))
-                .into_iter()
-                .map(|b| {
-                    vec![
-                        format!("{:.0}–{:.0}", b.bucket_start.as_mib_f64(), b.bucket_end.as_mib_f64()),
-                        b.jobs.to_string(),
-                        format!("{:.0} ± {:.0}", b.mean_waiting_secs, b.ci95_secs),
-                    ]
-                })
-                .collect();
-        table(&["SGX request [MiB]", "jobs", "avg wait [s] (95% CI)"], &rows);
-
-        // Standard jobs: requests up to 8 GiB (0–7500 MB in the paper).
-        let rows: Vec<Vec<String>> =
-            waiting_by_request(&result, JobKind::Standard, ByteSize::from_mib(1536))
+            waiting_by_request(result, JobKind::Sgx, ByteSize::from_mib(5))
                 .into_iter()
                 .map(|b| {
                     vec![
@@ -54,13 +46,37 @@ fn main() {
                     ]
                 })
                 .collect();
-        table(&["std request [MiB]", "jobs", "avg wait [s] (95% CI)"], &rows);
+        table(
+            &["SGX request [MiB]", "jobs", "avg wait [s] (95% CI)"],
+            &rows,
+        );
+
+        // Standard jobs: requests up to 8 GiB (0–7500 MB in the paper).
+        let rows: Vec<Vec<String>> =
+            waiting_by_request(result, JobKind::Standard, ByteSize::from_mib(1536))
+                .into_iter()
+                .map(|b| {
+                    vec![
+                        format!(
+                            "{:.0}–{:.0}",
+                            b.bucket_start.as_mib_f64(),
+                            b.bucket_end.as_mib_f64()
+                        ),
+                        b.jobs.to_string(),
+                        format!("{:.0} ± {:.0}", b.mean_waiting_secs, b.ci95_secs),
+                    ]
+                })
+                .collect();
+        table(
+            &["std request [MiB]", "jobs", "avg wait [s] (95% CI)"],
+            &rows,
+        );
 
         println!();
         println!(
             "  overall mean wait: SGX {:.0} s, standard {:.0} s",
-            mean_waiting_secs(&result, Some(JobKind::Sgx)),
-            mean_waiting_secs(&result, Some(JobKind::Standard)),
+            mean_waiting_secs(result, Some(JobKind::Sgx)),
+            mean_waiting_secs(result, Some(JobKind::Standard)),
         );
     }
     println!();

@@ -12,6 +12,35 @@
 
 use des::stats::Cdf;
 use des::SimDuration;
+use sgx_orchestrator::Experiment;
+use simulation::{sweep, ReplayResult, SweepProgress};
+
+/// Runs a batch of experiments on the parallel sweep (one worker per
+/// available core), printing a progress line to stderr as each replay
+/// completes. Results come back in input order and are bit-identical to
+/// running each experiment sequentially.
+pub fn run_experiments(experiments: &[Experiment]) -> Vec<ReplayResult> {
+    announce(experiments.len());
+    Experiment::run_all_with_progress(experiments, progress_line)
+}
+
+/// [`run_experiments`] for pre-materialised `(workload, config)` pairs —
+/// the ablations that mutate workloads or cost models directly.
+pub fn run_jobs(jobs: &[sweep::SweepJob]) -> Vec<ReplayResult> {
+    announce(jobs.len());
+    sweep::run_all_with(jobs, sweep::default_threads(jobs.len()), progress_line)
+}
+
+fn announce(runs: usize) {
+    eprintln!(
+        "  running {runs} replay(s) on {} worker thread(s)...",
+        sweep::default_threads(runs)
+    );
+}
+
+fn progress_line(p: SweepProgress) {
+    eprintln!("    [{}/{}] replay #{} done", p.completed, p.total, p.index);
+}
 
 /// Prints a section header.
 pub fn section(title: &str) {

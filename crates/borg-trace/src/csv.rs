@@ -87,7 +87,11 @@ pub fn from_csv(text: &str) -> Result<Trace, CsvError> {
                 found: other.trim().to_string(),
             })
         }
-        None => return Err(CsvError::BadHeader { found: String::new() }),
+        None => {
+            return Err(CsvError::BadHeader {
+                found: String::new(),
+            })
+        }
     }
 
     let mut jobs = Vec::new();

@@ -69,7 +69,10 @@ impl DurationModel {
     pub fn mean_secs(&self) -> f64 {
         let mut rng = seeded_rng(derive_seed(0xD0, "duration-mean"));
         let n = 20_000;
-        (0..n).map(|_| self.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| self.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -194,9 +197,8 @@ impl ConcurrencyProfile {
         let fast = self.fast_amplitude * (TAU * secs / (3.0 * 3600.0) + 1.3).sin();
         let z = (secs - self.dip_center.as_secs_f64()) / self.dip_width.as_secs_f64();
         let dip = self.dip_depth * (-0.5 * z * z).exp();
-        let burst = 1.0
-            + self.burst_amplitude
-                * (TAU * secs / self.burst_period.as_secs_f64() + 0.7).sin();
+        let burst =
+            1.0 + self.burst_amplitude * (TAU * secs / self.burst_period.as_secs_f64() + 0.7).sin();
         ((1.0 + slow + fast - dip) * burst).max(0.05)
     }
 
@@ -314,7 +316,7 @@ impl GeneratorConfig {
                 continue;
             }
             arrival_index += 1;
-            if arrival_index % keep_every != 0 {
+            if !arrival_index.is_multiple_of(keep_every) {
                 continue;
             }
             let duration = self.duration.sample(&mut attrs_rng);
@@ -376,8 +378,7 @@ impl GeneratorConfig {
                     if at < 0.0 {
                         break;
                     }
-                    let rate =
-                        base_rate * self.profile.multiplier(SimDuration::from_secs_f64(at));
+                    let rate = base_rate * self.profile.multiplier(SimDuration::from_secs_f64(at));
                     running += rate * s * delta;
                 }
                 let noisy = if running > 0.0 {
@@ -410,7 +411,9 @@ mod tests {
         assert!(trace
             .iter()
             .all(|j| j.duration <= SimDuration::from_secs(300)));
-        assert!(trace.iter().any(|j| j.duration > SimDuration::from_secs(60)));
+        assert!(trace
+            .iter()
+            .any(|j| j.duration > SimDuration::from_secs(60)));
     }
 
     #[test]
@@ -469,8 +472,7 @@ mod tests {
         let ratio = full.len() as f64 / sampled.len().max(1) as f64;
         assert!((ratio - 10.0).abs() < 1.5, "ratio={ratio}");
         // Sampled jobs are a subset of the full stream (same ids).
-        let ids: std::collections::HashSet<u64> =
-            full.iter().map(|j| j.id.as_u64()).collect();
+        let ids: std::collections::HashSet<u64> = full.iter().map(|j| j.id.as_u64()).collect();
         assert!(sampled.iter().all(|j| ids.contains(&j.id.as_u64())));
     }
 
@@ -492,10 +494,7 @@ mod tests {
             in_slice.len()
         );
         // Their useful duration sums to ≈100 h (Fig. 10 "Trace": 94 h).
-        let total_hours: f64 = in_slice
-            .iter()
-            .map(|j| j.duration.as_hours_f64())
-            .sum();
+        let total_hours: f64 = in_slice.iter().map(|j| j.duration.as_hours_f64()).sum();
         assert!(
             (80.0..=120.0).contains(&total_hours),
             "total useful duration {total_hours:.0} h, expected ≈100 h"

@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 use des::{SimDuration, SimTime};
 
 /// Identifier of a job within a trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(u64);
 
 impl JobId {

@@ -248,8 +248,7 @@ mod tests {
         let w = Workload::materialize(&tiny_trace(), &params);
         // Job 2 requested 0.4 → clamped to 0.20.
         assert_eq!(w.jobs()[1].mem_request, USABLE_EPC.mul_f64(0.20));
-        let unclamped =
-            Workload::materialize(&tiny_trace(), &params.without_fraction_cap());
+        let unclamped = Workload::materialize(&tiny_trace(), &params.without_fraction_cap());
         assert_eq!(unclamped.jobs()[1].mem_request, USABLE_EPC.mul_f64(0.4));
     }
 

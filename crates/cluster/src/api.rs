@@ -9,9 +9,7 @@ use sgx_sim::units::{ByteSize, EpcPages};
 use stress::{ContainerImage, Stressor};
 
 /// Unique identifier the API server assigns to each pod.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PodUid(u64);
 
 impl PodUid {
@@ -68,9 +66,7 @@ impl From<&str> for NodeName {
 
 /// A bundle of resource quantities: standard memory plus the "SGX" EPC
 /// resource exposed by the device plugin.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Resources {
     /// Ordinary memory.
     pub memory: ByteSize,
@@ -219,8 +215,10 @@ impl PodSpecBuilder {
     /// Shorthand: an SGX pod requesting `epc` of enclave memory (converted
     /// to pages, requests = limits) and no standard memory.
     pub fn sgx_resources(mut self, epc: ByteSize) -> Self {
-        self.resources =
-            ResourceRequirements::exact(Resources::with_epc(ByteSize::ZERO, epc.to_epc_pages_ceil()));
+        self.resources = ResourceRequirements::exact(Resources::with_epc(
+            ByteSize::ZERO,
+            epc.to_epc_pages_ceil(),
+        ));
         self
     }
 
@@ -291,7 +289,9 @@ mod tests {
         );
         assert!(!spec.image.bundles_psw());
 
-        let sgx = PodSpec::builder("s").sgx_resources(ByteSize::from_mib(8)).build();
+        let sgx = PodSpec::builder("s")
+            .sgx_resources(ByteSize::from_mib(8))
+            .build();
         assert!(sgx.needs_sgx());
         assert!(sgx.image.bundles_psw());
         assert_eq!(sgx.resources.limits.epc_pages, EpcPages::from_mib_ceil(8));

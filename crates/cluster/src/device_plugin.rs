@@ -115,7 +115,11 @@ mod tests {
     use sgx_sim::units::ByteSize;
 
     fn sgx_node() -> Node {
-        Node::new(NodeName::new("s"), MachineSpec::sgx_node(), NodeRole::Worker)
+        Node::new(
+            NodeName::new("s"),
+            MachineSpec::sgx_node(),
+            NodeRole::Worker,
+        )
     }
 
     #[test]
@@ -134,9 +138,16 @@ mod tests {
 
     #[test]
     fn non_sgx_nodes_advertise_nothing() {
-        let node = Node::new(NodeName::new("n"), MachineSpec::dell_r330(), NodeRole::Worker);
+        let node = Node::new(
+            NodeName::new("n"),
+            MachineSpec::dell_r330(),
+            NodeRole::Worker,
+        );
         assert_eq!(SgxDevicePlugin::default().advertise(&node), None);
-        assert_eq!(SgxDevicePlugin::default().schedulable_epc(&node), EpcPages::ZERO);
+        assert_eq!(
+            SgxDevicePlugin::default().schedulable_epc(&node),
+            EpcPages::ZERO
+        );
     }
 
     #[test]

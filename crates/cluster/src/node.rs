@@ -282,9 +282,9 @@ impl Node {
     /// Current paging slowdown multiplier for enclaves on this node
     /// (1.0 when the EPC is not over-committed).
     pub fn current_slowdown(&self) -> f64 {
-        self.driver
-            .as_ref()
-            .map_or(1.0, |d| self.cost_model.paging_slowdown(d.overcommit_ratio()))
+        self.driver.as_ref().map_or(1.0, |d| {
+            self.cost_model.paging_slowdown(d.overcommit_ratio())
+        })
     }
 
     /// Per-pod EPC usage in bytes — the quantity the SGX probe scrapes.
@@ -500,10 +500,7 @@ impl Node {
             None => None,
         };
         // The enclave is gone (self-destroyed); release everything else.
-        let mut pod = self
-            .pods
-            .remove(&uid)
-            .expect("looked up above");
+        let mut pod = self.pods.remove(&uid).expect("looked up above");
         pod.enclave = None;
         self.mem_used = self.mem_used.saturating_sub(pod.mem_allocated);
         self.mem_requested = self
@@ -549,8 +546,7 @@ impl Node {
         let requests = spec.resources.requests;
         if requests.needs_sgx() {
             let driver = self.driver.as_mut().expect("checked by can_admit");
-            if let Err(cause) = driver.set_pod_limit(&cgroup, spec.resources.limits.epc_pages)
-            {
+            if let Err(cause) = driver.set_pod_limit(&cgroup, spec.resources.limits.epc_pages) {
                 return Err(MigrateInError {
                     cause: ClusterError::Sgx(cause),
                     checkpoint,
@@ -645,7 +641,10 @@ impl Node {
     ///
     /// Returns [`ClusterError::UnknownPod`] if no such pod runs here.
     pub fn terminate_pod(&mut self, uid: PodUid) -> Result<RunningPod, ClusterError> {
-        let pod = self.pods.remove(&uid).ok_or(ClusterError::UnknownPod(uid))?;
+        let pod = self
+            .pods
+            .remove(&uid)
+            .ok_or(ClusterError::UnknownPod(uid))?;
         self.mem_used = self.mem_used.saturating_sub(pod.mem_allocated);
         self.mem_requested = self
             .mem_requested
@@ -667,11 +666,19 @@ mod tests {
     use stress::Stressor;
 
     fn sgx_worker() -> Node {
-        Node::new(NodeName::new("sgx-1"), MachineSpec::sgx_node(), NodeRole::Worker)
+        Node::new(
+            NodeName::new("sgx-1"),
+            MachineSpec::sgx_node(),
+            NodeRole::Worker,
+        )
     }
 
     fn std_worker() -> Node {
-        Node::new(NodeName::new("std-1"), MachineSpec::dell_r330(), NodeRole::Worker)
+        Node::new(
+            NodeName::new("std-1"),
+            MachineSpec::dell_r330(),
+            NodeRole::Worker,
+        )
     }
 
     fn sgx_pod(name: &str, mib: u64) -> PodSpec {
@@ -707,7 +714,12 @@ mod tests {
         let mut node = sgx_worker();
         let mut rng = seeded_rng(2);
         let report = node
-            .run_pod(PodUid::new(1), sgx_pod("enclave", 32), SimTime::ZERO, &mut rng)
+            .run_pod(
+                PodUid::new(1),
+                sgx_pod("enclave", 32),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         assert!(report.started());
         // ≈100 ms PSW + 32 × 1.6 ms allocation.
@@ -730,7 +742,9 @@ mod tests {
         );
         assert!(!node.is_schedulable());
         let mut rng = seeded_rng(3);
-        let spec = PodSpec::builder("p").memory_resources(ByteSize::from_mib(1)).build();
+        let spec = PodSpec::builder("p")
+            .memory_resources(ByteSize::from_mib(1))
+            .build();
         let err = node
             .run_pod(PodUid::new(1), spec, SimTime::ZERO, &mut rng)
             .unwrap_err();
@@ -791,7 +805,10 @@ mod tests {
             .run_pod(PodUid::new(1), spec, SimTime::ZERO, &mut rng)
             .unwrap();
         assert!(!report.started());
-        assert!(matches!(report.denied, Some(SgxError::PodLimitExceeded { .. })));
+        assert!(matches!(
+            report.denied,
+            Some(SgxError::PodLimitExceeded { .. })
+        ));
         // Everything was torn down.
         assert!(node.pods().is_empty());
         assert_eq!(node.epc_committed(), EpcPages::ZERO);
@@ -852,7 +869,10 @@ mod tests {
             .unwrap();
         let usage = node.epc_usage_by_pod();
         assert_eq!(usage.len(), 2);
-        assert_eq!(usage[&PodUid::new(1)], EpcPages::from_mib_ceil(10).to_bytes());
+        assert_eq!(
+            usage[&PodUid::new(1)],
+            EpcPages::from_mib_ceil(10).to_bytes()
+        );
         assert!(node.memory_usage_by_pod().is_empty()); // EPC-only stressors
     }
 
@@ -860,7 +880,9 @@ mod tests {
     fn duplicate_uid_rejected() {
         let mut node = std_worker();
         let mut rng = seeded_rng(11);
-        let spec = PodSpec::builder("p").memory_resources(ByteSize::from_mib(1)).build();
+        let spec = PodSpec::builder("p")
+            .memory_resources(ByteSize::from_mib(1))
+            .build();
         node.run_pod(PodUid::new(1), spec.clone(), SimTime::ZERO, &mut rng)
             .unwrap();
         assert!(matches!(
@@ -885,11 +907,7 @@ mod tests {
             .run_pod(PodUid::new(1), sgx_pod("svc", 20), SimTime::ZERO, &mut rng)
             .unwrap();
 
-        let key = MigrationKey::derive(
-            source.platform().unwrap(),
-            target.platform().unwrap(),
-            1,
-        );
+        let key = MigrationKey::derive(source.platform().unwrap(), target.platform().unwrap(), 1);
         let (spec, checkpoint) = source.migrate_out(PodUid::new(1), key).unwrap();
         assert!(checkpoint.is_some());
         // The source is completely clean.
@@ -898,7 +916,13 @@ mod tests {
         assert_eq!(source.epc_requested(), EpcPages::ZERO);
 
         let delay = target
-            .migrate_in(PodUid::new(1), spec, checkpoint, key, SimTime::from_secs(10))
+            .migrate_in(
+                PodUid::new(1),
+                spec,
+                checkpoint,
+                key,
+                SimTime::from_secs(10),
+            )
             .unwrap();
         // ≈50 ms handshake + ≈20 MiB over 1 Gbit/s ≈ 168 ms + 0.5 ms metadata.
         assert!(delay > SimDuration::from_millis(200), "{delay}");
@@ -922,22 +946,26 @@ mod tests {
         let mut rng = seeded_rng(21);
         // Fill the target almost completely.
         target
-            .run_pod(PodUid::new(9), sgx_pod("filler", 80), SimTime::ZERO, &mut rng)
+            .run_pod(
+                PodUid::new(9),
+                sgx_pod("filler", 80),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         source
             .run_pod(PodUid::new(1), sgx_pod("svc", 20), SimTime::ZERO, &mut rng)
             .unwrap();
 
-        let key = MigrationKey::derive(
-            source.platform().unwrap(),
-            target.platform().unwrap(),
-            1,
-        );
+        let key = MigrationKey::derive(source.platform().unwrap(), target.platform().unwrap(), 1);
         let (spec, checkpoint) = source.migrate_out(PodUid::new(1), key).unwrap();
         let err = target
             .migrate_in(PodUid::new(1), spec.clone(), checkpoint, key, SimTime::ZERO)
             .unwrap_err();
-        assert!(matches!(err.cause, ClusterError::InsufficientResources { .. }));
+        assert!(matches!(
+            err.cause,
+            ClusterError::InsufficientResources { .. }
+        ));
         // The checkpoint survived; restore back on the source.
         source
             .migrate_in(PodUid::new(1), spec, err.checkpoint, key, SimTime::ZERO)
@@ -984,7 +1012,11 @@ mod tests {
             .run_pod(PodUid::new(1), sgx_pod("a", 8), SimTime::ZERO, &mut rng)
             .unwrap();
         // Pull (≈3.5 s for the 420 MiB sgx-base image) dominates startup.
-        assert!(first.startup_delay > SimDuration::from_secs(3), "{}", first.startup_delay);
+        assert!(
+            first.startup_delay > SimDuration::from_secs(3),
+            "{}",
+            first.startup_delay
+        );
         let second = node
             .run_pod(PodUid::new(2), sgx_pod("b", 8), SimTime::ZERO, &mut rng)
             .unwrap();
@@ -1029,14 +1061,16 @@ mod tests {
             .unwrap();
         assert_eq!(node.epc_committed(), EpcPages::from_mib_ceil(8));
 
-        node.augment_pod(PodUid::new(1), EpcPages::from_mib_ceil(16)).unwrap();
+        node.augment_pod(PodUid::new(1), EpcPages::from_mib_ceil(16))
+            .unwrap();
         assert_eq!(node.epc_committed(), EpcPages::from_mib_ceil(24));
         // Growing past the 32 MiB limit is denied by the driver.
         assert!(matches!(
             node.augment_pod(PodUid::new(1), EpcPages::from_mib_ceil(16)),
             Err(ClusterError::Sgx(SgxError::PodLimitExceeded { .. }))
         ));
-        node.trim_pod(PodUid::new(1), EpcPages::from_mib_ceil(20)).unwrap();
+        node.trim_pod(PodUid::new(1), EpcPages::from_mib_ceil(20))
+            .unwrap();
         assert_eq!(node.epc_committed(), EpcPages::from_mib_ceil(4));
     }
 

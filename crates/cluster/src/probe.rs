@@ -118,8 +118,16 @@ mod tests {
 
     fn nodes() -> (Node, Node) {
         (
-            Node::new(NodeName::new("std-1"), MachineSpec::dell_r330(), NodeRole::Worker),
-            Node::new(NodeName::new("sgx-1"), MachineSpec::sgx_node(), NodeRole::Worker),
+            Node::new(
+                NodeName::new("std-1"),
+                MachineSpec::dell_r330(),
+                NodeRole::Worker,
+            ),
+            Node::new(
+                NodeName::new("sgx-1"),
+                MachineSpec::sgx_node(),
+                NodeRole::Worker,
+            ),
         )
     }
 
@@ -146,7 +154,8 @@ mod tests {
             .run_pod(PodUid::new(7), spec, SimTime::ZERO, &mut rng)
             .unwrap();
 
-        let points = Probe::sgx(SimDuration::from_secs(10)).sample(&sgx_node, SimTime::from_secs(10));
+        let points =
+            Probe::sgx(SimDuration::from_secs(10)).sample(&sgx_node, SimTime::from_secs(10));
         assert_eq!(points.len(), 1);
         let p = &points[0];
         assert_eq!(p.measurement(), MEASUREMENT_EPC);

@@ -35,8 +35,7 @@ impl RegistryModel {
 
     /// Time to pull `image` in full.
     pub fn pull_time(&self, image: &ContainerImage) -> SimDuration {
-        let transfer_ms =
-            image.nominal_size().as_mib_f64() / self.bandwidth_mib_per_sec * 1000.0;
+        let transfer_ms = image.nominal_size().as_mib_f64() / self.bandwidth_mib_per_sec * 1000.0;
         SimDuration::from_millis_f64(self.latency_ms + transfer_ms)
     }
 }

@@ -77,12 +77,7 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics if the name is already taken.
-    pub fn with_node(
-        mut self,
-        name: impl Into<String>,
-        spec: MachineSpec,
-        role: NodeRole,
-    ) -> Self {
+    pub fn with_node(mut self, name: impl Into<String>, spec: MachineSpec, role: NodeRole) -> Self {
         let name = name.into();
         assert!(
             self.members.iter().all(|(n, ..)| *n != name),
@@ -195,8 +190,9 @@ mod tests {
 
     #[test]
     fn epc_override_applies_to_sgx_nodes_only() {
-        let cluster =
-            Cluster::build(&ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(256)));
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(
+            256,
+        )));
         assert_eq!(cluster.total_epc(), ByteSize::from_mib(512));
         assert_eq!(cluster.total_memory(), ByteSize::from_gib(144));
     }

@@ -73,16 +73,22 @@ fn usage_error(message: &str) -> ExitCode {
 
 fn cmd_cluster() -> ExitCode {
     let cluster = Cluster::build(&ClusterSpec::paper_cluster());
-    println!("{:<8} {:<7} {:>9} {:>13} {:>9} {:>10}", "NAME", "ROLE", "MEMORY", "EPC (usable)", "SGX", "PLATFORM");
+    println!(
+        "{:<8} {:<7} {:>9} {:>13} {:>9} {:>10}",
+        "NAME", "ROLE", "MEMORY", "EPC (usable)", "SGX", "PLATFORM"
+    );
     for node in cluster.nodes() {
         println!(
             "{:<8} {:<7} {:>9} {:>13} {:>9} {:>10}",
             node.name().as_str(),
-            if node.is_schedulable() { "worker" } else { "master" },
+            if node.is_schedulable() {
+                "worker"
+            } else {
+                "master"
+            },
             node.allocatable_memory().to_string(),
             node.spec().usable_epc().to_string(),
-            node
-                .driver()
+            node.driver()
                 .map_or("-".to_string(), |d| d.version().to_string()),
             node.platform()
                 .map_or("-".to_string(), |p| format!("{p:#010x}")[..10].to_string()),

@@ -3,7 +3,7 @@
 use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams};
 use cluster::topology::ClusterSpec;
 use sgx_sim::units::ByteSize;
-use simulation::{replay, MaliciousConfig, ReplayConfig, ReplayResult};
+use simulation::{replay, sweep, MaliciousConfig, ReplayConfig, ReplayResult, SweepProgress};
 
 /// Which trace the experiment replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +153,26 @@ impl Experiment {
     pub fn run(&self) -> ReplayResult {
         replay(&self.workload(), &self.replay_config())
     }
+
+    /// Runs a batch of experiments on the parallel sweep, returning results
+    /// in input order. Bit-identical to calling [`run`](Self::run) on each
+    /// experiment sequentially.
+    pub fn run_all(experiments: &[Experiment]) -> Vec<ReplayResult> {
+        Experiment::run_all_with_progress(experiments, |_| {})
+    }
+
+    /// Like [`run_all`](Self::run_all) with a per-run completion callback
+    /// (fires from worker threads, in completion order).
+    pub fn run_all_with_progress<F>(experiments: &[Experiment], progress: F) -> Vec<ReplayResult>
+    where
+        F: Fn(SweepProgress) + Sync,
+    {
+        let jobs: Vec<sweep::SweepJob> = experiments
+            .iter()
+            .map(|exp| (exp.workload(), exp.replay_config()))
+            .collect();
+        sweep::run_all_with(&jobs, sweep::default_threads(jobs.len()), progress)
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +208,10 @@ mod tests {
             .limits(false)
             .malicious(0.25);
         let config = exp.replay_config();
-        assert_eq!(config.orchestrator.default_scheduler, orchestrator::SGX_SPREAD);
+        assert_eq!(
+            config.orchestrator.default_scheduler,
+            orchestrator::SGX_SPREAD
+        );
         assert!(!config.enforce_limits);
         assert_eq!(config.malicious.unwrap().fraction, 0.25);
         let cluster = cluster::topology::Cluster::build(&config.cluster);
@@ -200,6 +223,24 @@ mod tests {
         let a = Experiment::quick(4).sgx_ratio(1.0).run();
         let b = Experiment::quick(4).sgx_ratio(1.0).run();
         assert_eq!(a.runs(), b.runs());
+    }
+
+    #[test]
+    fn run_all_matches_individual_runs() {
+        let experiments = [
+            Experiment::quick(6).sgx_ratio(1.0),
+            Experiment::quick(6)
+                .sgx_ratio(0.5)
+                .scheduler(orchestrator::SGX_SPREAD),
+            Experiment::quick(7).epc_size(ByteSize::from_mib(64)),
+        ];
+        let batch = Experiment::run_all(&experiments);
+        assert_eq!(batch.len(), experiments.len());
+        for (result, exp) in batch.iter().zip(&experiments) {
+            let solo = exp.run();
+            assert_eq!(result.runs(), solo.runs());
+            assert_eq!(result.end_time(), solo.end_time());
+        }
     }
 
     #[test]

@@ -73,6 +73,23 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. Replay drivers that know the
+    /// rough event count up front (≈2 per job plus periodic ticks) use
+    /// this to avoid the doubling reallocations of a cold heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The instant of the most recently popped event ([`SimTime::ZERO`]
     /// before the first pop). This is the simulation's current virtual time.
     pub fn now(&self) -> SimTime {
@@ -216,6 +233,14 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(128);
+        assert!(q.capacity() >= 128);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl Cdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile requires q in [0,1], got {q}"
+        );
         if self.sorted.is_empty() {
             return None;
         }
@@ -168,7 +171,10 @@ impl RunningStats {
     ///
     /// Panics if `x` is not finite.
     pub fn push(&mut self, x: f64) {
-        assert!(x.is_finite(), "RunningStats samples must be finite, got {x}");
+        assert!(
+            x.is_finite(),
+            "RunningStats samples must be finite, got {x}"
+        );
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -242,8 +248,7 @@ impl RunningStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -351,7 +356,8 @@ impl TimeSeries {
         assert!(!bucket.is_zero(), "bucket must be non-zero");
         let mut out: Vec<(SimTime, f64)> = Vec::new();
         for &(t, v) in &self.points {
-            let start = SimTime::from_micros(t.as_micros() / bucket.as_micros() * bucket.as_micros());
+            let start =
+                SimTime::from_micros(t.as_micros() / bucket.as_micros() * bucket.as_micros());
             match out.last_mut() {
                 Some((last, max)) if *last == start => *max = max.max(v),
                 _ => out.push((start, v)),
@@ -483,9 +489,7 @@ mod tests {
 
     #[test]
     fn time_series_downsample_max() {
-        let ts: TimeSeries = (0..10)
-            .map(|i| (SimTime::from_secs(i), i as f64))
-            .collect();
+        let ts: TimeSeries = (0..10).map(|i| (SimTime::from_secs(i), i as f64)).collect();
         let buckets = ts.downsample_max(SimDuration::from_secs(5));
         assert_eq!(
             buckets,

@@ -366,8 +366,14 @@ mod tests {
 
     #[test]
     fn fractional_constructors_round() {
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1500));
-        assert_eq!(SimDuration::from_millis_f64(0.5), SimDuration::from_micros(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(0.5),
+            SimDuration::from_micros(500)
+        );
         assert_eq!(SimTime::from_secs_f64(0.000001), SimTime::from_micros(1));
     }
 
@@ -406,7 +412,10 @@ mod tests {
     fn ordering_is_chronological() {
         assert!(SimTime::from_millis(1) < SimTime::from_secs(1));
         assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
-        assert_eq!(SimTime::ZERO.max(SimTime::from_secs(1)), SimTime::from_secs(1));
+        assert_eq!(
+            SimTime::ZERO.max(SimTime::from_secs(1)),
+            SimTime::from_secs(1)
+        );
     }
 
     #[test]

@@ -203,7 +203,11 @@ mod tests {
             .build();
         let (uids, invoice) = run_and_bill(vec![spec]);
         let line = invoice.line(uids[0]).unwrap();
-        assert!((line.reserved_hours - 1.0).abs() < 0.01, "{}", line.reserved_hours);
+        assert!(
+            (line.reserved_hours - 1.0).abs() < 0.01,
+            "{}",
+            line.reserved_hours
+        );
         assert_eq!(line.memory_cost, 0.0);
         assert!(line.epc_cost > 0.0);
     }

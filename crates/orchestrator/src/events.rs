@@ -192,7 +192,9 @@ mod tests {
         for i in 0..5 {
             log.record(
                 SimTime::from_secs(i),
-                EventKind::Submitted { uid: PodUid::new(i) },
+                EventKind::Submitted {
+                    uid: PodUid::new(i),
+                },
             );
         }
         assert_eq!(log.len(), 3);
@@ -208,11 +210,16 @@ mod tests {
         log.record(SimTime::ZERO, EventKind::Submitted { uid });
         log.record(
             SimTime::from_secs(1),
-            EventKind::NodeCordoned { node: NodeName::new("n") },
+            EventKind::NodeCordoned {
+                node: NodeName::new("n"),
+            },
         );
         log.record(
             SimTime::from_secs(2),
-            EventKind::Scheduled { uid, node: NodeName::new("n") },
+            EventKind::Scheduled {
+                uid,
+                node: NodeName::new("n"),
+            },
         );
         assert_eq!(log.for_pod(uid).count(), 2);
         assert_eq!(log.for_pod(PodUid::new(8)).count(), 0);

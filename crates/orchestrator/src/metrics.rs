@@ -20,7 +20,7 @@ use cluster::probe::{MEASUREMENT_EPC, MEASUREMENT_MEMORY};
 use cluster::topology::Cluster;
 use des::{SimDuration, SimTime};
 use sgx_sim::units::{ByteSize, EpcPages};
-use tsdb::{Aggregate, Database, Predicate, Select, TimeBound};
+use tsdb::{Aggregate, Database, Predicate, Row, Select, TimeBound, WindowedCache};
 
 /// Capacity and occupancy of one node, as the scheduler sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -52,7 +52,9 @@ impl NodeView {
 
     /// Effective EPC occupancy in pages: `max(measured, requested)`.
     pub fn epc_occupied(&self) -> EpcPages {
-        self.epc_measured.to_epc_pages_ceil().max(self.epc_requested)
+        self.epc_measured
+            .to_epc_pages_ceil()
+            .max(self.epc_requested)
     }
 
     /// Memory still considered free by the SGX-aware schedulers.
@@ -128,14 +130,36 @@ pub struct ClusterView {
 impl ClusterView {
     /// Builds the view: capacities and requests from the cluster, measured
     /// usage from sliding-window queries against the database.
-    pub fn capture(
+    pub fn capture(cluster: &Cluster, db: &Database, now: SimTime, window: SimDuration) -> Self {
+        Self::capture_with(cluster, now, window, &mut |select, now| {
+            db.query(select, now)
+        })
+    }
+
+    /// Like [`capture`](Self::capture), but runs the Listing-1 queries
+    /// through a [`WindowedCache`], so a scheduling tick only pays for the
+    /// samples that entered or left the 25 s window since the previous
+    /// tick. Results are bit-for-bit identical to [`capture`].
+    pub fn capture_cached(
         cluster: &Cluster,
         db: &Database,
+        cache: &mut WindowedCache,
         now: SimTime,
         window: SimDuration,
     ) -> Self {
-        let epc_measured = Self::measured(db, MEASUREMENT_EPC, now, window);
-        let mem_measured = Self::measured(db, MEASUREMENT_MEMORY, now, window);
+        Self::capture_with(cluster, now, window, &mut |select, now| {
+            cache.query(db, select, now)
+        })
+    }
+
+    fn capture_with(
+        cluster: &Cluster,
+        now: SimTime,
+        window: SimDuration,
+        run_query: &mut dyn FnMut(&Select, SimTime) -> Vec<Row>,
+    ) -> Self {
+        let epc_measured = Self::measured(MEASUREMENT_EPC, now, window, run_query);
+        let mem_measured = Self::measured(MEASUREMENT_MEMORY, now, window, run_query);
 
         let nodes = cluster
             .schedulable_nodes()
@@ -164,10 +188,10 @@ impl ClusterView {
     /// Executes the Listing 1 aggregation for one measurement: per-pod MAX
     /// over the window, summed per node.
     fn measured(
-        db: &Database,
         measurement: &str,
         now: SimTime,
         window: SimDuration,
+        run_query: &mut dyn FnMut(&Select, SimTime) -> Vec<Row>,
     ) -> BTreeMap<String, ByteSize> {
         let per_pod = Select::from_measurement(measurement)
             .aggregate(Aggregate::Max)
@@ -177,7 +201,7 @@ impl ClusterView {
         let per_node = Select::from_subquery(per_pod)
             .aggregate(Aggregate::Sum)
             .group_by(["nodename"]);
-        db.query(&per_node, now)
+        run_query(&per_node, now)
             .into_iter()
             .filter_map(|row| {
                 let node = row.tag("nodename")?.to_string();
@@ -268,7 +292,10 @@ mod tests {
         let view = paper_view(&db, &cluster, SimTime::from_secs(100));
         let sgx = view.node(&NodeName::new("sgx-1")).unwrap();
         assert_eq!(sgx.epc_measured, ByteSize::from_bytes(1_000_000));
-        assert_eq!(view.node(&NodeName::new("sgx-2")).unwrap().epc_measured, ByteSize::ZERO);
+        assert_eq!(
+            view.node(&NodeName::new("sgx-2")).unwrap().epc_measured,
+            ByteSize::ZERO
+        );
     }
 
     #[test]

@@ -65,17 +65,17 @@ impl PlacementPolicy {
         // fall back to SGX nodes only when no other choice exists. SGX
         // pods have a single tier (SGX nodes).
         let tiers: [Vec<(&NodeName, &crate::metrics::NodeView)>; 2] = if spec.needs_sgx() {
-            [view.iter().filter(|(_, v)| v.has_sgx()).collect(), Vec::new()]
+            [
+                view.iter().filter(|(_, v)| v.has_sgx()).collect(),
+                Vec::new(),
+            ]
         } else {
             let (sgx, standard): (Vec<_>, Vec<_>) = view.iter().partition(|(_, v)| v.has_sgx());
             [standard, sgx]
         };
 
         for tier in tiers {
-            let feasible: Vec<_> = tier
-                .iter()
-                .filter(|(_, v)| v.fits(spec))
-                .collect();
+            let feasible: Vec<_> = tier.iter().filter(|(_, v)| v.fits(spec)).collect();
             if feasible.is_empty() {
                 continue;
             }
@@ -200,7 +200,9 @@ mod tests {
     fn spread_falls_back_to_sgx_tier() {
         let mut view = empty_view();
         for name in ["std-1", "std-2"] {
-            view.node_mut(&NodeName::new(name)).unwrap().reserve(&std_pod(64));
+            view.node_mut(&NodeName::new(name))
+                .unwrap()
+                .reserve(&std_pod(64));
         }
         let chosen = PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap();
         assert!(chosen.as_str().starts_with("sgx"));

@@ -155,7 +155,10 @@ mod tests {
         let mut q = PendingQueue::new();
         q.enqueue(PodUid::new(1), spec(10), SimTime::from_secs(5));
         q.enqueue(PodUid::new(2), spec(20), SimTime::from_secs(8));
-        assert_eq!(q.epc_requested(), EpcPages::from_mib_ceil(10) + EpcPages::from_mib_ceil(20));
+        assert_eq!(
+            q.epc_requested(),
+            EpcPages::from_mib_ceil(10) + EpcPages::from_mib_ceil(20)
+        );
         assert_eq!(q.memory_requested(), ByteSize::ZERO);
         assert_eq!(
             q.oldest_wait(SimTime::from_secs(15)),

@@ -142,7 +142,7 @@ mod tests {
             .build();
         let chosen = SchedulerKind::KubeDefault.place(&pod, &v).unwrap();
         assert_eq!(chosen.as_str(), "sgx-1"); // no reservation of SGX nodes!
-        // The SGX-aware schedulers instead preserve SGX nodes.
+                                              // The SGX-aware schedulers instead preserve SGX nodes.
         let aware = SchedulerKind::SgxAware(PlacementPolicy::Binpack)
             .place(&pod, &v)
             .unwrap();
@@ -175,7 +175,12 @@ mod tests {
             .with_tag("pod_name", "pod-1")
             .with_tag("nodename", "sgx-1"),
         );
-        let v = ClusterView::capture(&cluster, &db, SimTime::from_secs(2), SimDuration::from_secs(25));
+        let v = ClusterView::capture(
+            &cluster,
+            &db,
+            SimTime::from_secs(2),
+            SimDuration::from_secs(25),
+        );
         let pod = PodSpec::builder("p")
             .sgx_resources(ByteSize::from_mib(50))
             .build();

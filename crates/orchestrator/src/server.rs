@@ -1,6 +1,7 @@
 //! The master-side control loop: submission, scheduling passes, probe
 //! collection and pod completion.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
@@ -14,7 +15,7 @@ use cluster::ClusterError;
 use des::rng::{derive_seed, seeded_rng};
 use des::{SimDuration, SimTime};
 use sgx_sim::units::{ByteSize, EpcPages};
-use tsdb::Database;
+use tsdb::{Database, WindowedCache};
 
 use crate::events::{EventKind, EventLog};
 use crate::metrics::ClusterView;
@@ -123,7 +124,8 @@ pub struct PodRecord {
 impl PodRecord {
     /// The paper's waiting time: submission → job actually starts.
     pub fn waiting_time(&self) -> Option<SimDuration> {
-        self.started_at.map(|t| t.saturating_since(self.submitted_at))
+        self.started_at
+            .map(|t| t.saturating_since(self.submitted_at))
     }
 
     /// The paper's turnaround time: submission → job finishes and dies.
@@ -155,6 +157,11 @@ pub struct BindOutcome {
 pub struct Orchestrator {
     cluster: Cluster,
     db: Database,
+    /// Incremental state for the per-pass Listing-1 queries. Interior
+    /// mutability keeps [`capture_view`](Orchestrator::capture_view) a
+    /// `&self` read — the cache is an acceleration structure, not
+    /// observable state.
+    window_cache: RefCell<WindowedCache>,
     queue: PendingQueue,
     probes: Vec<Probe>,
     config: OrchestratorConfig,
@@ -174,6 +181,7 @@ impl Orchestrator {
         Orchestrator {
             cluster: Cluster::build(&spec),
             db: Database::new(),
+            window_cache: RefCell::new(WindowedCache::new()),
             queue: PendingQueue::new(),
             probes,
             rng: seeded_rng(derive_seed(config.seed, "orchestrator")),
@@ -399,8 +407,25 @@ impl Orchestrator {
 
     /// The scheduler's current view (capacities, requests, measured usage
     /// over the sliding window).
+    ///
+    /// The Listing-1 queries run through a [`WindowedCache`] shared across
+    /// passes, so each capture only processes the samples that entered or
+    /// left the window since the previous one. The cache validates itself
+    /// against the database's change stamps, and its results are
+    /// bit-for-bit identical to querying the database directly.
     pub fn capture_view(&self, now: SimTime) -> ClusterView {
-        ClusterView::capture(&self.cluster, &self.db, now, self.config.metrics_window)
+        ClusterView::capture_cached(
+            &self.cluster,
+            &self.db,
+            &mut self.window_cache.borrow_mut(),
+            now,
+            self.config.metrics_window,
+        )
+    }
+
+    /// Usage counters of the sliding-window query cache.
+    pub fn window_cache_stats(&self) -> tsdb::CacheStats {
+        self.window_cache.borrow().stats()
     }
 
     /// Live-migrates a running pod to another node (§VIII): its enclave is
@@ -430,7 +455,7 @@ impl Orchestrator {
         let PodOutcome::Running { node: source } = record.outcome.clone() else {
             return Err(ClusterError::UnknownPod(uid));
         };
-        if !self.cluster.node(target).is_some() {
+        if self.cluster.node(target).is_none() {
             return Err(ClusterError::UnknownNode(target.clone()));
         }
         if &source == target {
@@ -467,10 +492,7 @@ impl Orchestrator {
             .migrate_in(uid, spec.clone(), checkpoint, key, now);
         match attempt {
             Ok(delay) => {
-                self.records
-                    .get_mut(&uid)
-                    .expect("record exists")
-                    .outcome = PodOutcome::Running {
+                self.records.get_mut(&uid).expect("record exists").outcome = PodOutcome::Running {
                     node: target.clone(),
                 };
                 self.events.record(
@@ -592,9 +614,8 @@ impl Orchestrator {
             // The view excludes the cordoned node, so placement naturally
             // avoids it.
             let view = self.capture_view(now);
-            let Some(target) =
-                SchedulerKind::SgxAware(crate::policy::PlacementPolicy::Binpack)
-                    .place(&spec, &view)
+            let Some(target) = SchedulerKind::SgxAware(crate::policy::PlacementPolicy::Binpack)
+                .place(&spec, &view)
             else {
                 continue; // no room anywhere right now
             };
@@ -625,11 +646,7 @@ impl Orchestrator {
     /// enclaves". Moves SGX pods from the most- to the least-loaded SGX
     /// node while the requested-EPC imbalance exceeds `threshold`
     /// (a fraction of capacity). Returns the migrations performed.
-    pub fn rebalance_epc(
-        &mut self,
-        now: SimTime,
-        threshold: f64,
-    ) -> Vec<(PodUid, NodeName)> {
+    pub fn rebalance_epc(&mut self, now: SimTime, threshold: f64) -> Vec<(PodUid, NodeName)> {
         let mut moves = Vec::new();
         loop {
             // Snapshot per-SGX-node load fractions.
@@ -669,9 +686,7 @@ impl Orchestrator {
                 .values()
                 .filter(|p| {
                     let pages = p.spec.resources.requests.epc_pages;
-                    !pages.is_zero()
-                        && pages <= cold_free
-                        && pages.count() <= gap_pages
+                    !pages.is_zero() && pages <= cold_free && pages.count() <= gap_pages
                 })
                 .max_by_key(|p| p.spec.resources.requests.epc_pages)
                 .map(|p| p.uid);
@@ -797,6 +812,29 @@ mod tests {
     }
 
     #[test]
+    fn cached_view_matches_direct_capture_across_passes() {
+        let mut orch = orchestrator();
+        orch.submit(sgx_spec("a", 20), SimTime::ZERO);
+        orch.submit(sgx_spec("b", 30), SimTime::ZERO);
+        for tick in 1..60 {
+            let now = SimTime::from_secs(tick * 5);
+            orch.scheduler_pass(now);
+            if tick % 2 == 0 {
+                orch.probe_pass(now);
+            }
+            let cached = orch.capture_view(now);
+            let direct =
+                ClusterView::capture(orch.cluster(), orch.db(), now, orch.config().metrics_window);
+            for (name, view) in direct.iter() {
+                assert_eq!(cached.node(name), Some(view), "diverged at {now}");
+            }
+        }
+        let stats = orch.window_cache_stats();
+        assert!(stats.hits > 0, "cache never hit: {stats:?}");
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
     fn per_pod_scheduler_routing() {
         let mut orch = orchestrator();
         // Route one pod through spread, one through the stock scheduler.
@@ -845,7 +883,9 @@ mod tests {
         assert!(delay > SimDuration::from_millis(100));
         assert_eq!(
             orch.record(uid).unwrap().outcome,
-            PodOutcome::Running { node: target.clone() }
+            PodOutcome::Running {
+                node: target.clone()
+            }
         );
         // Resources moved with the pod.
         assert_eq!(
@@ -888,7 +928,9 @@ mod tests {
         // Rolled back: still running on its original node, state intact.
         assert_eq!(
             orch.record(moving).unwrap().outcome,
-            PodOutcome::Running { node: moving_node.clone() }
+            PodOutcome::Running {
+                node: moving_node.clone()
+            }
         );
         assert_eq!(
             orch.cluster().node(&moving_node).unwrap().epc_committed(),
@@ -903,7 +945,8 @@ mod tests {
         let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
         let node = outcomes[0].node.clone();
         assert_eq!(
-            orch.migrate_pod(uid, &node, SimTime::from_secs(10)).unwrap(),
+            orch.migrate_pod(uid, &node, SimTime::from_secs(10))
+                .unwrap(),
             SimDuration::ZERO
         );
     }

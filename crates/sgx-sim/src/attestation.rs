@@ -196,10 +196,7 @@ impl Aesm {
     /// The key the PE would provision for `platform` — also used by the
     /// verifier as its view of Intel's registry.
     fn provisioned_key(platform: u64) -> u64 {
-        platform
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(17)
-            ^ 0xA0A0_5EA1_ED00_0000
+        platform.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ 0xA0A0_5EA1_ED00_0000
     }
 
     /// This platform's identifier.
@@ -301,9 +298,7 @@ impl Aesm {
     }
 
     fn seal_key(&self, measurement: Measurement) -> u64 {
-        self.attestation_key
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            ^ measurement.as_u64()
+        self.attestation_key.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ measurement.as_u64()
     }
 }
 

@@ -247,7 +247,7 @@ mod tests {
         let m = CostModel::paper_defaults();
         let empty = m.migration_transfer(ByteSize::ZERO);
         assert_eq!(empty.as_millis(), 50); // handshake only
-        // ≈119.2 MiB takes ≈1 s on the 1 Gbit/s network.
+                                           // ≈119.2 MiB takes ≈1 s on the 1 Gbit/s network.
         let one_sec = m.migration_transfer(ByteSize::from_mib_f64(119.2));
         assert!((one_sec.as_millis_f64() - 1050.0).abs() < 1.0, "{one_sec}");
     }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use crate::attestation::{Aesm, LaunchToken, Measurement, Signer};
 use crate::enclave::{Enclave, EnclaveState};
-use crate::epc::{Epc, EpcConfig, EnclaveUsage, PagingActivity};
+use crate::epc::{EnclaveUsage, Epc, EpcConfig, PagingActivity};
 use crate::error::SgxError;
 use crate::ids::{CgroupPath, EnclaveId, Pid};
 use crate::units::EpcPages;
@@ -252,10 +252,7 @@ impl SgxDriver {
         id: EnclaveId,
         pages: EpcPages,
     ) -> Result<PagingActivity, SgxError> {
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Created {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -283,10 +280,7 @@ impl SgxDriver {
     /// * [`SgxError::PodLimitExceeded`] — the admission check failed; the
     ///   enclave stays un-initialised and should be destroyed by its owner.
     pub fn init_enclave(&mut self, id: EnclaveId) -> Result<(), SgxError> {
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Created {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -323,10 +317,7 @@ impl SgxDriver {
         id: EnclaveId,
         code_identity: &str,
     ) -> Result<Measurement, SgxError> {
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         Ok(Measurement::compute(code_identity, enclave.committed()))
     }
 
@@ -374,10 +365,7 @@ impl SgxDriver {
         if !self.version.supports_dynamic_memory() {
             return Err(SgxError::DynamicMemoryUnsupported);
         }
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Initialized {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -413,10 +401,7 @@ impl SgxDriver {
         if !self.version.supports_dynamic_memory() {
             return Err(SgxError::DynamicMemoryUnsupported);
         }
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Initialized {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -443,10 +428,7 @@ impl SgxDriver {
         id: EnclaveId,
         working_set: EpcPages,
     ) -> Result<PagingActivity, SgxError> {
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Initialized {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -477,10 +459,7 @@ impl SgxDriver {
         code_identity: &str,
         key: crate::migration::MigrationKey,
     ) -> Result<crate::migration::EnclaveCheckpoint, SgxError> {
-        let enclave = self
-            .enclaves
-            .get(&id)
-            .ok_or(SgxError::UnknownEnclave(id))?;
+        let enclave = self.enclaves.get(&id).ok_or(SgxError::UnknownEnclave(id))?;
         if enclave.state() != EnclaveState::Initialized {
             return Err(SgxError::InvalidState {
                 enclave: id,
@@ -624,7 +603,8 @@ mod tests {
 
     fn driver_with_limit(pod_id: u32, limit_pages: u64) -> SgxDriver {
         let mut d = SgxDriver::sgx1_default();
-        d.set_pod_limit(&pod(pod_id), EpcPages::new(limit_pages)).unwrap();
+        d.set_pod_limit(&pod(pod_id), EpcPages::new(limit_pages))
+            .unwrap();
         d
     }
 
@@ -684,7 +664,10 @@ mod tests {
         let mut d = SgxDriver::sgx1_default();
         let e = d.create_enclave(Pid::new(1), pod(9));
         d.add_pages(e, EpcPages::ONE).unwrap();
-        assert!(matches!(d.init_enclave(e), Err(SgxError::NoPodLimit { .. })));
+        assert!(matches!(
+            d.init_enclave(e),
+            Err(SgxError::NoPodLimit { .. })
+        ));
     }
 
     #[test]
@@ -722,7 +705,9 @@ mod tests {
         let reply = d.ioctl(IoctlRequest::ProcessEpcPages(Pid::new(7))).unwrap();
         assert_eq!(reply, IoctlResponse::PageCount(EpcPages::new(123)));
 
-        let err = d.ioctl(IoctlRequest::ProcessEpcPages(Pid::new(8))).unwrap_err();
+        let err = d
+            .ioctl(IoctlRequest::ProcessEpcPages(Pid::new(8)))
+            .unwrap_err();
         assert!(matches!(err, SgxError::UnknownProcess(_)));
     }
 
@@ -840,10 +825,9 @@ mod tests {
         ));
 
         // …and so is a token for different code.
-        let other = d.aesm().launch_token(
-            d.measure_enclave(e2, "trojan").unwrap(),
-            &signer,
-        );
+        let other = d
+            .aesm()
+            .launch_token(d.measure_enclave(e2, "trojan").unwrap(), &signer);
         assert!(matches!(
             d.init_enclave_with_token(e2, "kv-store-v1", &signer, &other),
             Err(SgxError::AttestationFailed { .. })
@@ -948,7 +932,8 @@ mod tests {
         let mut d = SgxDriver::sgx1_default();
         d.set_enforce_limits(false);
         let e = d.create_enclave(Pid::new(1), pod(1));
-        d.add_pages(e, ByteSize::from_mib(100).to_epc_pages_ceil()).unwrap();
+        d.add_pages(e, ByteSize::from_mib(100).to_epc_pages_ceil())
+            .unwrap();
         assert!(d.overcommit_ratio() > 1.0);
     }
 }

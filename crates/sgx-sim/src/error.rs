@@ -120,7 +120,9 @@ mod tests {
             limit: EpcPages::new(5),
         };
         assert!(e.to_string().contains("denied"));
-        assert!(SgxError::DynamicMemoryUnsupported.to_string().contains("SGX2"));
+        assert!(SgxError::DynamicMemoryUnsupported
+            .to_string()
+            .contains("SGX2"));
         assert!(SgxError::UnknownEnclave(crate::EnclaveId::new(1))
             .to_string()
             .contains("enclave:1"));

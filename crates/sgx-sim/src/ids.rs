@@ -5,9 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A process identifier, as used by the per-process EPC-usage ioctl (§V-E).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Pid(u32);
 
 impl Pid {
@@ -29,9 +27,7 @@ impl fmt::Display for Pid {
 }
 
 /// A unique identifier for an enclave registered with the driver.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EnclaveId(u64);
 
 impl EnclaveId {
@@ -135,7 +131,9 @@ mod tests {
     #[test]
     fn ids_are_ordered_and_hashable() {
         use std::collections::HashSet;
-        let set: HashSet<Pid> = [Pid::new(1), Pid::new(2), Pid::new(1)].into_iter().collect();
+        let set: HashSet<Pid> = [Pid::new(1), Pid::new(2), Pid::new(1)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
         assert!(EnclaveId::new(1) < EnclaveId::new(2));
     }

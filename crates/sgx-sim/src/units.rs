@@ -171,7 +171,7 @@ impl Sum for ByteSize {
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 * 1024 && b % (1024 * 1024) == 0 {
+        if b >= 1024 * 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{:.1}GiB", self.as_gib_f64())
         } else if b >= 1024 * 1024 {
             write!(f, "{:.1}MiB", self.as_mib_f64())
@@ -322,9 +322,18 @@ mod tests {
 
     #[test]
     fn pages_round_up() {
-        assert_eq!(ByteSize::from_bytes(1).to_epc_pages_ceil(), EpcPages::new(1));
-        assert_eq!(ByteSize::from_bytes(4096).to_epc_pages_ceil(), EpcPages::new(1));
-        assert_eq!(ByteSize::from_bytes(4097).to_epc_pages_ceil(), EpcPages::new(2));
+        assert_eq!(
+            ByteSize::from_bytes(1).to_epc_pages_ceil(),
+            EpcPages::new(1)
+        );
+        assert_eq!(
+            ByteSize::from_bytes(4096).to_epc_pages_ceil(),
+            EpcPages::new(1)
+        );
+        assert_eq!(
+            ByteSize::from_bytes(4097).to_epc_pages_ceil(),
+            EpcPages::new(2)
+        );
         assert_eq!(ByteSize::ZERO.to_epc_pages_ceil(), EpcPages::ZERO);
     }
 

@@ -8,10 +8,7 @@ use sgx_sim::units::ByteSize;
 use crate::replay::{JobRun, ReplayResult};
 
 /// Selects honest runs of a given kind (or all honest runs).
-fn honest_of_kind<'a>(
-    result: &'a ReplayResult,
-    kind: Option<JobKind>,
-) -> impl Iterator<Item = &'a JobRun> {
+fn honest_of_kind(result: &ReplayResult, kind: Option<JobKind>) -> impl Iterator<Item = &JobRun> {
     result
         .honest_runs()
         .filter(move |run| match (kind, run.job) {
@@ -83,10 +80,7 @@ pub fn waiting_by_request(
         };
         let request = run.job.expect("honest runs have jobs").mem_request;
         let index = request.as_bytes() / bucket.as_bytes();
-        buckets
-            .entry(index)
-            .or_insert_with(RunningStats::new)
-            .push(wait.as_secs_f64());
+        buckets.entry(index).or_default().push(wait.as_secs_f64());
     }
     buckets
         .into_iter()
@@ -149,8 +143,7 @@ mod tests {
         let started = r
             .honest_runs()
             .filter(|run| {
-                run.job.map(|j| j.kind) == Some(JobKind::Sgx)
-                    && run.record.waiting_time().is_some()
+                run.job.map(|j| j.kind) == Some(JobKind::Sgx) && run.record.waiting_time().is_some()
             })
             .count() as u64;
         assert_eq!(total, started);

@@ -136,7 +136,10 @@ mod tests {
             .with_scheduler(orchestrator::SGX_SPREAD)
             .without_limits()
             .with_malicious(MaliciousConfig::squatting(0.25));
-        assert_eq!(config.orchestrator.default_scheduler, orchestrator::SGX_SPREAD);
+        assert_eq!(
+            config.orchestrator.default_scheduler,
+            orchestrator::SGX_SPREAD
+        );
         assert!(!config.enforce_limits);
         assert_eq!(config.malicious.unwrap().fraction, 0.25);
         assert_eq!(config.orchestrator.seed, 7);

@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod sweep;
 
 mod config;
 mod replay;
 
 pub use config::{MaliciousConfig, NodeFailure, ReplayConfig};
 pub use replay::{replay, JobRun, ReplayResult};
+pub use sweep::{SweepJob, SweepProgress};

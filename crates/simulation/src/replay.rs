@@ -134,7 +134,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let probe_period = config.orchestrator.probe_period;
     let cap = SimTime::ZERO + config.max_sim_time;
 
-    let mut events: EventQueue<Event> = EventQueue::new();
+    // Every job contributes a Submit and (usually) a PodFinish, the two
+    // periodic loops keep at most one in-flight event each, and failure
+    // injection adds a fail/recover pair — so ~2 events per job plus a
+    // small constant bounds the heap's high-water mark.
+    let event_estimate = workload.len() * 2 + config.failures.len() * 2 + 8;
+    let mut events: EventQueue<Event> = EventQueue::with_capacity(event_estimate);
     for (index, job) in workload.iter().enumerate() {
         events.schedule(job.submit, Event::Submit(index));
     }
@@ -223,10 +228,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                         );
                     }
                 }
-                pending_epc_series
-                    .record(now, orch.queue().epc_requested().as_mib_f64());
-                pending_memory_series
-                    .record(now, orch.queue().memory_requested().as_mib_f64());
+                pending_epc_series.record(now, orch.queue().epc_requested().as_mib_f64());
+                pending_memory_series.record(now, orch.queue().memory_requested().as_mib_f64());
                 if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
                     events.schedule(now + scheduler_period, Event::SchedulerTick);
                 } else {
@@ -298,9 +301,7 @@ fn build_runs(
     let mut runs = Vec::with_capacity(orch.records().len());
     for (uid, record) in orch.records() {
         let malicious = malicious_uids.contains(uid);
-        let job = uid_to_job
-            .get(uid)
-            .map(|&index| workload.jobs()[index]);
+        let job = uid_to_job.get(uid).map(|&index| workload.jobs()[index]);
         runs.push(JobRun {
             job,
             record: record.clone(),

@@ -164,9 +164,15 @@ mod tests {
     fn malicious_plan_scales_with_node_epc() {
         let stressor = Stressor::malicious(0.5);
         let plan = stressor.plan_on(USABLE_EPC);
-        assert_eq!(plan.epc_allocation, USABLE_EPC.mul_f64(0.5).to_epc_pages_ceil());
+        assert_eq!(
+            plan.epc_allocation,
+            USABLE_EPC.mul_f64(0.5).to_epc_pages_ceil()
+        );
         let smaller = stressor.plan_on(ByteSize::from_mib(32));
-        assert_eq!(smaller.epc_allocation, ByteSize::from_mib(16).to_epc_pages_ceil());
+        assert_eq!(
+            smaller.epc_allocation,
+            ByteSize::from_mib(16).to_epc_pages_ceil()
+        );
         // ... while the declared request stays one page.
         let Stressor::MaliciousEpc { declared, .. } = stressor else {
             unreachable!()
@@ -185,13 +191,18 @@ mod tests {
         let s = Stressor::for_job(&sgx_job);
         assert_eq!(s.image(), ContainerImage::sgx_base());
         let plan = s.plan();
-        assert_eq!(plan.epc_allocation, ByteSize::from_mib(12).to_epc_pages_ceil());
+        assert_eq!(
+            plan.epc_allocation,
+            ByteSize::from_mib(12).to_epc_pages_ceil()
+        );
         assert!(plan.requires_sgx);
     }
 
     #[test]
     fn images_match_stressors() {
-        assert!(!Stressor::virtual_memory(ByteSize::ZERO).image().bundles_psw());
+        assert!(!Stressor::virtual_memory(ByteSize::ZERO)
+            .image()
+            .bundles_psw());
         assert!(Stressor::malicious(0.25).image().bundles_psw());
     }
 

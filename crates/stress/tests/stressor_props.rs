@@ -8,15 +8,13 @@ use sgx_sim::units::ByteSize;
 use stress::Stressor;
 
 fn arbitrary_job(kind: JobKind) -> impl Strategy<Value = WorkloadJob> {
-    (1u64..100_000, 1u64..100_000, 1u64..300).prop_map(move |(req_kib, use_kib, dur)| {
-        WorkloadJob {
-            id: JobId::new(1),
-            submit: SimTime::ZERO,
-            duration: SimDuration::from_secs(dur),
-            kind,
-            mem_request: ByteSize::from_kib(req_kib),
-            mem_usage: ByteSize::from_kib(use_kib),
-        }
+    (1u64..100_000, 1u64..100_000, 1u64..300).prop_map(move |(req_kib, use_kib, dur)| WorkloadJob {
+        id: JobId::new(1),
+        submit: SimTime::ZERO,
+        duration: SimDuration::from_secs(dur),
+        kind,
+        mem_request: ByteSize::from_kib(req_kib),
+        mem_usage: ByteSize::from_kib(use_kib),
     })
 }
 

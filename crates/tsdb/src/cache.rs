@@ -1,0 +1,609 @@
+//! Incremental sliding-window query cache.
+//!
+//! The paper's scheduler re-runs the same Listing-1 query every pass:
+//! `MAX(value)` per pod over the trailing 25 s, summed per node. Even
+//! with the time-bounded scan path the engine re-reads the whole window
+//! from every series on every tick. This cache goes one step further and
+//! keeps **per-series window state** alive between ticks, so a tick costs
+//! O(new samples + expired samples) ingestion plus an O(window) fold —
+//! independent of how much history the database retains.
+//!
+//! Per cached query and per series the cache owns:
+//!
+//! * a deque of the in-window, predicate-passing samples (time-ordered —
+//!   append on ingest, pop-front on expiry),
+//! * monotonic max/min deques, giving the series' window max/min in O(1)
+//!   amortised (the classic sliding-window-maximum structure).
+//!
+//! Group results are folded from the per-series states **in exactly the
+//! order the full scan folds raw samples** (series in tag-set order,
+//! samples in time order), so cached results are bit-for-bit identical to
+//! [`Database::query`] and [`Database::query_full_scan`] — a property the
+//! `windowed_cache_props` test suite enforces across random inserts,
+//! window sizes, group-bys and retention evictions.
+//!
+//! # Consistency with the live database
+//!
+//! The cache never requires explicit invalidation hooks. Each lookup
+//! compares stamps the [`Database`] maintains:
+//!
+//! * **Out-of-order inserts** bump a database-wide counter; a moved stamp
+//!   rebuilds the affected entry from scratch (probes append in time
+//!   order, so this is rare).
+//! * **Retention eviction** removes a prefix of each series. Cached
+//!   samples are keyed by their *absolute* series position
+//!   (`evicted + index`), so the cache discards exactly the positions the
+//!   database dropped — no more (a later insert may legitimately carry an
+//!   older timestamp than a past cutoff) and no less. A series the
+//!   database dropped entirely loses its cached state with it.
+//! * **Series identity**: every series carries a creation id, so a series
+//!   that retention dropped and a later pod recreated under the same tags
+//!   is detected per series and re-ingested, not silently continued.
+//! * **Time moving backwards** (a caller querying an older `now`) resets
+//!   the entry; sliding windows only ever advance in the orchestrator.
+//!
+//! # Examples
+//!
+//! ```
+//! use des::{SimDuration, SimTime};
+//! use tsdb::{Aggregate, Database, Point, Predicate, Select, TimeBound, WindowedCache};
+//!
+//! let mut db = Database::new();
+//! let mut cache = WindowedCache::new();
+//! let select = Select::from_measurement("sgx/epc")
+//!     .aggregate(Aggregate::Max)
+//!     .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+//!         SimDuration::from_secs(25),
+//!     )))
+//!     .group_by(["nodename"]);
+//!
+//! for t in 0..60 {
+//!     db.insert(
+//!         Point::new("sgx/epc", SimTime::from_secs(t), t as f64)
+//!             .with_tag("nodename", "n1"),
+//!     );
+//!     let rows = cache.query(&db, &select, SimTime::from_secs(t));
+//!     assert_eq!(rows, db.query_full_scan(&select, SimTime::from_secs(t)));
+//! }
+//! assert!(cache.stats().hits > 0);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+
+use des::{SimDuration, SimTime};
+
+use crate::point::TagSet;
+use crate::query::{aggregate_rows, project_tags, Aggregate, Predicate, Select, TimeBound};
+use crate::query::{Row, Source};
+use crate::storage::Database;
+
+/// Upper bound on simultaneously cached query shapes; hitting it clears
+/// the cache rather than growing without bound. The orchestrator uses two
+/// shapes (EPC and memory), so this is generous.
+const MAX_ENTRIES: usize = 32;
+
+/// Reusable incremental state for sliding-window queries against a
+/// [`Database`]. See the module docs for the design.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedCache {
+    entries: Vec<(EntryKey, Entry)>,
+    stats: CacheStats,
+}
+
+/// Counters describing how the cache has been used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from existing window state.
+    pub hits: u64,
+    /// Lookups that had to create a fresh entry.
+    pub misses: u64,
+    /// Entries torn down and re-ingested (out-of-order insert, time moving
+    /// backwards, or capacity pressure).
+    pub rebuilds: u64,
+    /// Queries outside the cacheable shape, answered by the regular
+    /// engine instead.
+    pub fallbacks: u64,
+}
+
+/// What makes two cacheable selects share state: same measurement, same
+/// relative window, same aggregate, grouping and residual predicates.
+#[derive(Debug, Clone, PartialEq)]
+struct EntryKey {
+    measurement: String,
+    window: SimDuration,
+    aggregate: Aggregate,
+    group_by: Vec<String>,
+    residual: Vec<Predicate>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Per-series window state, keyed by the full tag set (iteration in
+    /// tag-set order mirrors the scan's series order).
+    series: BTreeMap<TagSet, SeriesWindow>,
+    /// Value of [`Database::out_of_order_inserts`] this state was built
+    /// against.
+    out_of_order_stamp: u64,
+    /// The `now` of the previous lookup; a smaller `now` means the window
+    /// moved backwards and the state is unusable.
+    last_now: SimTime,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SeriesWindow {
+    /// Creation id of the series this state tracks.
+    series_id: u64,
+    /// Absolute position (`evicted + index`) of the next sample to ingest.
+    consumed_abs: u64,
+    /// In-window, predicate-passing samples as `(abs_pos, time, value)` in
+    /// time order. The absolute position ties each sample to the exact
+    /// storage slot it came from, pairing the max/min deques with the
+    /// sample deque and making eviction tracking exact.
+    window: VecDeque<(u64, SimTime, f64)>,
+    /// Decreasing values; front is the window max.
+    max_deque: VecDeque<(u64, f64)>,
+    /// Increasing values; front is the window min.
+    min_deque: VecDeque<(u64, f64)>,
+}
+
+impl SeriesWindow {
+    fn reset_for(&mut self, series_id: u64, consumed_abs: u64) {
+        self.series_id = series_id;
+        self.consumed_abs = consumed_abs;
+        self.window.clear();
+        self.max_deque.clear();
+        self.min_deque.clear();
+    }
+
+    fn admit(&mut self, abs_pos: u64, time: SimTime, value: f64) {
+        self.window.push_back((abs_pos, time, value));
+        // Strict comparisons keep ties, so the front stays the earliest
+        // occurrence of the extreme — the value is what matters.
+        while self.max_deque.back().is_some_and(|&(_, v)| v < value) {
+            self.max_deque.pop_back();
+        }
+        self.max_deque.push_back((abs_pos, value));
+        while self.min_deque.back().is_some_and(|&(_, v)| v > value) {
+            self.min_deque.pop_back();
+        }
+        self.min_deque.push_back((abs_pos, value));
+    }
+
+    fn pop_front_sample(&mut self) {
+        if let Some((abs_pos, _, _)) = self.window.pop_front() {
+            if self.max_deque.front().is_some_and(|&(p, _)| p == abs_pos) {
+                self.max_deque.pop_front();
+            }
+            if self.min_deque.front().is_some_and(|&(p, _)| p == abs_pos) {
+                self.min_deque.pop_front();
+            }
+        }
+    }
+
+    /// Slides the window forward: samples older than `threshold` leave.
+    fn expire_before(&mut self, threshold: SimTime) {
+        while self.window.front().is_some_and(|&(_, t, _)| t < threshold) {
+            self.pop_front_sample();
+        }
+    }
+
+    /// Discards the cached samples whose storage slots retention evicted:
+    /// exactly those with absolute position below the series' eviction
+    /// counter (eviction always removes a prefix).
+    fn drop_evicted(&mut self, evicted_count: u64) {
+        while self
+            .window
+            .front()
+            .is_some_and(|&(p, _, _)| p < evicted_count)
+        {
+            self.pop_front_sample();
+        }
+    }
+}
+
+impl WindowedCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        WindowedCache::default()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of query shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no query shape is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all cached state (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Executes `select` against `db`, reusing incremental window state
+    /// where the query shape allows it and falling back to
+    /// [`Database::query`] where it does not. Results are bit-for-bit
+    /// identical to the uncached engine either way.
+    pub fn query(&mut self, db: &Database, select: &Select, now: SimTime) -> Vec<Row> {
+        match self.try_query(db, select, now) {
+            Some(rows) => rows,
+            None => {
+                self.stats.fallbacks += 1;
+                db.query(select, now)
+            }
+        }
+    }
+
+    fn try_query(&mut self, db: &Database, select: &Select, now: SimTime) -> Option<Vec<Row>> {
+        match select.source() {
+            Source::Measurement(_) => self.query_leaf(db, select, now),
+            Source::Subquery(inner) => {
+                // One nesting level (Listing 1): serve the inner windowed
+                // aggregation from cache, then fold its rows — treated as
+                // observations at `now` — through the outer select with
+                // the same helper the streaming executor uses.
+                if !matches!(inner.source(), Source::Measurement(_)) {
+                    return None;
+                }
+                let inner_rows = self.query_leaf(db, inner, now)?;
+                Some(aggregate_rows(select, &inner_rows, now))
+            }
+        }
+    }
+
+    fn query_leaf(&mut self, db: &Database, select: &Select, now: SimTime) -> Option<Vec<Row>> {
+        let measurement = match select.source() {
+            Source::Measurement(m) => m.clone(),
+            Source::Subquery(_) => return None,
+        };
+        // Cacheable shape: exactly one relative lower time bound (the
+        // sliding window) and otherwise only value/tag predicates, whose
+        // outcome cannot change once a sample is admitted.
+        let mut window = None;
+        let mut residual = Vec::new();
+        for predicate in select.predicates() {
+            match predicate {
+                Predicate::TimeAtLeast(TimeBound::SinceNowMinus(w)) if window.is_none() => {
+                    window = Some(*w);
+                }
+                Predicate::TimeAtLeast(_) | Predicate::TimeBefore(_) => return None,
+                other => residual.push(other.clone()),
+            }
+        }
+        let window = window?;
+
+        let key = EntryKey {
+            measurement,
+            window,
+            aggregate: select.aggregate_fn(),
+            group_by: select.group_by_keys().to_vec(),
+            residual,
+        };
+        let index = match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(index) => {
+                self.stats.hits += 1;
+                index
+            }
+            None => {
+                if self.entries.len() >= MAX_ENTRIES {
+                    self.entries.clear();
+                    self.stats.rebuilds += 1;
+                }
+                self.stats.misses += 1;
+                self.entries.push((
+                    key,
+                    Entry {
+                        series: BTreeMap::new(),
+                        out_of_order_stamp: db.out_of_order_inserts(),
+                        last_now: SimTime::ZERO,
+                    },
+                ));
+                self.entries.len() - 1
+            }
+        };
+
+        let (key, entry) = &mut self.entries[index];
+        if entry.out_of_order_stamp != db.out_of_order_inserts() || now < entry.last_now {
+            entry.series.clear();
+            entry.out_of_order_stamp = db.out_of_order_inserts();
+            self.stats.rebuilds += 1;
+        }
+        entry.last_now = now;
+
+        let lo = TimeBound::SinceNowMinus(key.window).resolve(now);
+
+        // Ingest the suffix each live series grew since the last lookup,
+        // after reconciling what retention evicted from its front.
+        if let Some(series_map) = db.series_of(&key.measurement) {
+            for (tags, series) in series_map {
+                let state = entry.series.entry(tags.clone()).or_default();
+                if state.series_id != series.id() || state.consumed_abs > series.absolute_len() {
+                    // Brand-new state, a recreated series, or inconsistent
+                    // bookkeeping: ingest this series from its live start.
+                    state.reset_for(series.id(), series.evicted_count());
+                }
+                state.drop_evicted(series.evicted_count());
+                state.consumed_abs = state.consumed_abs.max(series.evicted_count());
+                let start = (state.consumed_abs - series.evicted_count()) as usize;
+                for &(time, value) in &series.samples()[start..] {
+                    let abs_pos = state.consumed_abs;
+                    state.consumed_abs += 1;
+                    if time < lo {
+                        continue; // Already outside the window; `lo` only grows.
+                    }
+                    if !key
+                        .residual
+                        .iter()
+                        .all(|p| p.matches(time, value, tags, now))
+                    {
+                        continue;
+                    }
+                    state.admit(abs_pos, time, value);
+                }
+            }
+        }
+
+        // Slide every window forward, and drop state for series the
+        // database no longer stores — all their samples were evicted.
+        let live = db.series_of(&key.measurement);
+        for state in entry.series.values_mut() {
+            state.expire_before(lo);
+        }
+        entry
+            .series
+            .retain(|tags, _| live.is_some_and(|series_map| series_map.contains_key(tags)));
+
+        // Fold per-series summaries into group rows, visiting series in
+        // tag-set order — the same order the scan feeds samples in, so
+        // every floating-point operation happens in the same sequence.
+        let mut groups: BTreeMap<TagSet, GroupFold> = BTreeMap::new();
+        for (tags, state) in &entry.series {
+            if state.window.is_empty() {
+                continue;
+            }
+            groups
+                .entry(project_tags(tags, &key.group_by))
+                .or_insert_with(|| GroupFold::new(key.aggregate))
+                .merge_series(state);
+        }
+        Some(
+            groups
+                .into_iter()
+                .map(|(tags, fold)| Row {
+                    value: fold.finish(),
+                    tags,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Folds per-series window summaries into one group value, reproducing
+/// the sample-order fold of [`crate::query::AggState`] exactly.
+#[derive(Debug, Clone, Copy)]
+struct GroupFold {
+    aggregate: Aggregate,
+    acc: f64,
+    count: u64,
+    last_time: SimTime,
+    last_value: f64,
+}
+
+impl GroupFold {
+    fn new(aggregate: Aggregate) -> Self {
+        let acc = match aggregate {
+            Aggregate::Max => f64::MIN,
+            Aggregate::Min => f64::MAX,
+            _ => 0.0,
+        };
+        GroupFold {
+            aggregate,
+            acc,
+            count: 0,
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+        }
+    }
+
+    fn merge_series(&mut self, state: &SeriesWindow) {
+        match self.aggregate {
+            // max(fold(a..), fold(b..)) == fold(a.. ++ b..): combining the
+            // per-series deque fronts is the concatenated fold.
+            Aggregate::Max => {
+                let series_max = state.max_deque.front().expect("non-empty window").1;
+                self.acc = self.acc.max(series_max);
+            }
+            Aggregate::Min => {
+                let series_min = state.min_deque.front().expect("non-empty window").1;
+                self.acc = self.acc.min(series_min);
+            }
+            // Sums are folded sample-by-sample in stream order rather than
+            // kept as running totals, precisely so eviction can never
+            // introduce floating-point drift against the scan.
+            Aggregate::Mean | Aggregate::Sum => {
+                for &(_, _, value) in &state.window {
+                    self.acc += value;
+                }
+            }
+            Aggregate::Count => {}
+            Aggregate::Last => {
+                // Within a series the back of the deque is the last sample
+                // at the latest time; `>=` keeps later series winning ties,
+                // as the stream-order fold does.
+                let &(_, time, value) = state.window.back().expect("non-empty window");
+                if time >= self.last_time {
+                    self.last_time = time;
+                    self.last_value = value;
+                }
+            }
+        }
+        self.count += state.window.len() as u64;
+    }
+
+    fn finish(&self) -> f64 {
+        debug_assert!(self.count > 0);
+        match self.aggregate {
+            Aggregate::Max | Aggregate::Min | Aggregate::Sum => self.acc,
+            Aggregate::Mean => self.acc / self.count as f64,
+            Aggregate::Count => self.count as f64,
+            Aggregate::Last => self.last_value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn epc_point(t: u64, pod: &str, node: &str, v: f64) -> Point {
+        Point::new("sgx/epc", SimTime::from_secs(t), v)
+            .with_tag("pod_name", pod)
+            .with_tag("nodename", node)
+    }
+
+    fn listing1() -> Select {
+        let per_pod = Select::from_measurement("sgx/epc")
+            .aggregate(Aggregate::Max)
+            .filter(Predicate::ValueNe(0.0))
+            .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+                SimDuration::from_secs(25),
+            )))
+            .group_by(["pod_name", "nodename"]);
+        Select::from_subquery(per_pod)
+            .aggregate(Aggregate::Sum)
+            .group_by(["nodename"])
+    }
+
+    #[test]
+    fn cached_listing1_matches_engine_tick_by_tick() {
+        let mut db = Database::new();
+        let mut cache = WindowedCache::new();
+        let select = listing1();
+        for t in 0..120 {
+            for pod in 0..6 {
+                let node = format!("n{}", pod % 2);
+                db.insert(epc_point(t, &format!("p{pod}"), &node, (t * pod) as f64));
+            }
+            let now = SimTime::from_secs(t);
+            assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+            assert_eq!(
+                cache.query(&db, &select, now),
+                db.query_full_scan(&select, now)
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 200, "stats: {stats:?}");
+        assert_eq!(stats.misses, 1); // one shape: the shared inner select
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.rebuilds, 0);
+    }
+
+    #[test]
+    fn retention_eviction_stays_consistent() {
+        let mut db = Database::new();
+        let mut cache = WindowedCache::new();
+        let select = listing1();
+        for t in 0..200 {
+            db.insert(epc_point(t, "p0", "n0", t as f64 + 1.0));
+            let now = SimTime::from_secs(t);
+            if t % 7 == 0 {
+                // Keep less history than the 25 s query window, forcing
+                // the cache to honour the eviction cutoff.
+                db.enforce_retention(now, SimDuration::from_secs(10));
+            }
+            assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+        }
+    }
+
+    #[test]
+    fn out_of_order_insert_triggers_rebuild() {
+        let mut db = Database::new();
+        let mut cache = WindowedCache::new();
+        let select = listing1();
+        db.insert(epc_point(10, "p0", "n0", 5.0));
+        let now = SimTime::from_secs(12);
+        cache.query(&db, &select, now);
+        db.insert(epc_point(3, "p0", "n0", 7.0)); // splices before t=10
+        let now = SimTime::from_secs(13);
+        assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+        assert!(cache.stats().rebuilds >= 1);
+    }
+
+    #[test]
+    fn series_recreated_after_retention_is_re_ingested() {
+        let mut db = Database::new();
+        let mut cache = WindowedCache::new();
+        let select = listing1();
+        db.insert(epc_point(0, "p0", "n0", 1.0));
+        cache.query(&db, &select, SimTime::from_secs(1));
+        // Drop the series entirely, then recreate the same tags.
+        db.enforce_retention(SimTime::from_secs(100), SimDuration::from_secs(1));
+        for t in 100..110 {
+            db.insert(epc_point(t, "p0", "n0", t as f64));
+        }
+        let now = SimTime::from_secs(110);
+        assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+    }
+
+    #[test]
+    fn uncacheable_shapes_fall_back() {
+        let mut db = Database::new();
+        let mut cache = WindowedCache::new();
+        db.insert(epc_point(1, "p0", "n0", 1.0));
+        // Absolute time bound: not a sliding window.
+        let select = Select::from_measurement("sgx/epc")
+            .aggregate(Aggregate::Sum)
+            .filter(Predicate::TimeAtLeast(TimeBound::Absolute(SimTime::ZERO)));
+        let now = SimTime::from_secs(2);
+        assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+        assert_eq!(cache.stats().fallbacks, 1);
+        // No time bound at all: also uncacheable.
+        let select = Select::from_measurement("sgx/epc").aggregate(Aggregate::Count);
+        assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+        assert_eq!(cache.stats().fallbacks, 2);
+    }
+
+    #[test]
+    fn every_aggregate_matches_over_a_sliding_run() {
+        for aggregate in [
+            Aggregate::Max,
+            Aggregate::Min,
+            Aggregate::Mean,
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Last,
+        ] {
+            let mut db = Database::new();
+            let mut cache = WindowedCache::new();
+            let select = Select::from_measurement("m")
+                .aggregate(aggregate)
+                .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+                    SimDuration::from_secs(5),
+                )))
+                .group_by(["node"]);
+            for t in 0..40 {
+                for s in 0..3 {
+                    db.insert(
+                        Point::new("m", SimTime::from_secs(t), ((t * 7 + s * 13) % 11) as f64)
+                            .with_tag("node", format!("n{}", s % 2))
+                            .with_tag("series", s.to_string()),
+                    );
+                }
+                let now = SimTime::from_secs(t);
+                assert_eq!(
+                    cache.query(&db, &select, now),
+                    db.query_full_scan(&select, now),
+                    "aggregate {aggregate:?} diverged at t={t}"
+                );
+            }
+        }
+    }
+}

@@ -163,9 +163,7 @@ fn lex(input: &str) -> Result<Vec<Token>, TsdbError> {
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 let number: f64 = input[start..i].parse().map_err(|_| TsdbError::Lex {
@@ -301,8 +299,7 @@ impl Parser {
         self.expect_keyword("SELECT")?;
 
         let func = self.ident("aggregate function")?;
-        let aggregate =
-            Aggregate::from_name(&func).ok_or(TsdbError::UnknownAggregate(func))?;
+        let aggregate = Aggregate::from_name(&func).ok_or(TsdbError::UnknownAggregate(func))?;
         self.expect(Token::LParen, "`(` after aggregate")?;
         let _field = self.ident("aggregated field")?;
         self.expect(Token::RParen, "`)` after aggregate argument")?;
@@ -354,7 +351,9 @@ impl Parser {
     fn parse_condition(&mut self) -> Result<Predicate, TsdbError> {
         let column = self.ident("condition column")?;
         if column.eq_ignore_ascii_case("value") {
-            let op = self.next().ok_or_else(|| self.error("comparison operator"))?;
+            let op = self
+                .next()
+                .ok_or_else(|| self.error("comparison operator"))?;
             let number = match self.next() {
                 Some(Token::Number(n)) => n,
                 _ => return Err(self.error("number after value comparison")),
@@ -368,7 +367,9 @@ impl Parser {
                 }),
             }
         } else if column.eq_ignore_ascii_case("time") {
-            let op = self.next().ok_or_else(|| self.error("comparison operator"))?;
+            let op = self
+                .next()
+                .ok_or_else(|| self.error("comparison operator"))?;
             let bound = self.parse_time_expr()?;
             match op {
                 Token::Ge => Ok(Predicate::TimeAtLeast(bound)),
@@ -469,9 +470,7 @@ mod tests {
             let s = parse(&q).unwrap();
             assert_eq!(
                 s.predicates()[0],
-                Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_micros(
-                    micros
-                ))),
+                Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_micros(micros))),
                 "for {text}"
             );
         }

@@ -58,10 +58,12 @@ pub mod influxql;
 pub mod query;
 pub mod wire;
 
+mod cache;
 mod error;
 mod point;
 mod storage;
 
+pub use cache::{CacheStats, WindowedCache};
 pub use error::TsdbError;
 pub use point::{Point, TagSet};
 pub use query::{Aggregate, Predicate, Row, Select, Source, TimeBound};

@@ -40,7 +40,10 @@ impl Point {
     /// Panics if `measurement` is empty or `value` is not finite.
     pub fn new(measurement: impl Into<String>, time: SimTime, value: f64) -> Self {
         let measurement = measurement.into();
-        assert!(!measurement.is_empty(), "measurement name must not be empty");
+        assert!(
+            !measurement.is_empty(),
+            "measurement name must not be empty"
+        );
         assert!(value.is_finite(), "point value must be finite, got {value}");
         Point {
             measurement,
@@ -124,7 +127,10 @@ mod tests {
         let p = Point::new("sgx/epc", SimTime::from_secs(2), 7.0)
             .with_tag("nodename", "n1")
             .with_tag("pod_name", "p1");
-        assert_eq!(p.to_string(), "sgx/epc,nodename=n1,pod_name=p1 value=7 t+2.0s");
+        assert_eq!(
+            p.to_string(),
+            "sgx/epc,nodename=n1,pod_name=p1 value=7 t+2.0s"
+        );
     }
 
     #[test]

@@ -48,21 +48,71 @@ impl Aggregate {
     /// Reduces a non-empty slice of `(time, value)` samples.
     fn apply(self, samples: &[(SimTime, f64)]) -> f64 {
         debug_assert!(!samples.is_empty());
-        match self {
-            Aggregate::Max => samples.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max),
-            Aggregate::Min => samples.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min),
-            Aggregate::Mean => {
-                samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len() as f64
-            }
-            Aggregate::Sum => samples.iter().map(|&(_, v)| v).sum(),
-            Aggregate::Count => samples.len() as f64,
+        let mut state = AggState::new(self);
+        for &(time, value) in samples {
+            state.push(time, value);
+        }
+        state.finish()
+    }
+}
+
+/// Streaming accumulator for one group: folds `(time, value)` samples one
+/// at a time in O(1) space, replacing the per-group `Vec` the executor
+/// used to build. The fold order and operations are identical to
+/// [`Aggregate::apply`] over the collected samples, so results are
+/// bit-for-bit the same.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AggState {
+    aggregate: Aggregate,
+    /// Running max / min / sum depending on the aggregate.
+    acc: f64,
+    count: u64,
+    /// For [`Aggregate::Last`]: the latest timestamp seen so far. Samples
+    /// at an equal timestamp replace the held value, matching the
+    /// "ties: last in stream order" semantics of the slice fold.
+    last_time: SimTime,
+    last_value: f64,
+}
+
+impl AggState {
+    pub(crate) fn new(aggregate: Aggregate) -> Self {
+        let acc = match aggregate {
+            Aggregate::Max => f64::MIN,
+            Aggregate::Min => f64::MAX,
+            _ => 0.0,
+        };
+        AggState {
+            aggregate,
+            acc,
+            count: 0,
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, value: f64) {
+        match self.aggregate {
+            Aggregate::Max => self.acc = self.acc.max(value),
+            Aggregate::Min => self.acc = self.acc.min(value),
+            Aggregate::Mean | Aggregate::Sum => self.acc += value,
+            Aggregate::Count => {}
             Aggregate::Last => {
-                samples
-                    .iter()
-                    .max_by_key(|&&(t, _)| t)
-                    .expect("non-empty")
-                    .1
+                if time >= self.last_time {
+                    self.last_time = time;
+                    self.last_value = value;
+                }
             }
+        }
+        self.count += 1;
+    }
+
+    pub(crate) fn finish(&self) -> f64 {
+        debug_assert!(self.count > 0);
+        match self.aggregate {
+            Aggregate::Max | Aggregate::Min | Aggregate::Sum => self.acc,
+            Aggregate::Mean => self.acc / self.count as f64,
+            Aggregate::Count => self.count as f64,
+            Aggregate::Last => self.last_value,
         }
     }
 }
@@ -107,7 +157,14 @@ pub enum Predicate {
 }
 
 impl Predicate {
-    fn matches(&self, time: SimTime, value: f64, tags: &TagSet, now: SimTime) -> bool {
+    /// `true` for predicates that constrain the timestamp alone. These are
+    /// absorbed into the scan bounds by [`scan_bounds`] instead of being
+    /// re-evaluated per sample.
+    pub(crate) fn is_time_bound(&self) -> bool {
+        matches!(self, Predicate::TimeAtLeast(_) | Predicate::TimeBefore(_))
+    }
+
+    pub(crate) fn matches(&self, time: SimTime, value: f64, tags: &TagSet, now: SimTime) -> bool {
         match self {
             Predicate::ValueNe(x) => value != *x,
             Predicate::ValueGt(x) => value > *x,
@@ -222,10 +279,47 @@ impl Select {
         &self.group_by
     }
 
-    /// Evaluates against pre-extracted samples. `fetch` maps a measurement
-    /// name to its raw `(time, value, tags)` samples; the storage layer
-    /// provides it. Rows come back sorted by tag set for determinism.
-    pub(crate) fn execute<'a, F>(&self, fetch: &F, now: SimTime) -> Vec<Row>
+    /// Evaluates against a time-bounded sample stream. Time predicates are
+    /// resolved up front into a `[lo, hi)` scan range so `source` can seek
+    /// straight to the window (the storage layer uses `partition_point` on
+    /// each series); the remaining predicates are checked per sample and
+    /// each group folds through a constant-space [`AggState`] instead of
+    /// collecting a `Vec`. Rows come back sorted by tag set for
+    /// determinism.
+    pub(crate) fn execute_streaming(&self, source: &dyn WindowSource, now: SimTime) -> Vec<Row> {
+        match &self.source {
+            Source::Measurement(measurement) => {
+                let (lo, hi) = scan_bounds(&self.predicates, now);
+                let residual: Vec<&Predicate> = self
+                    .predicates
+                    .iter()
+                    .filter(|p| !p.is_time_bound())
+                    .collect();
+                let mut groups: BTreeMap<TagSet, AggState> = BTreeMap::new();
+                source.stream_window(measurement, lo, hi, &mut |time, value, tags| {
+                    if !residual.iter().all(|p| p.matches(time, value, tags, now)) {
+                        return;
+                    }
+                    groups
+                        .entry(project_tags(tags, &self.group_by))
+                        .or_insert_with(|| AggState::new(self.aggregate))
+                        .push(time, value);
+                });
+                finish_groups(groups)
+            }
+            Source::Subquery(inner) => {
+                let rows = inner.execute_streaming(source, now);
+                aggregate_rows(self, &rows, now)
+            }
+        }
+    }
+
+    /// Reference executor: materialises every sample of the source
+    /// measurement and filters after the fact, exactly as the original
+    /// engine did. Kept as the oracle the incremental paths are verified
+    /// against (see the `windowed_cache_props` property tests) and as the
+    /// baseline of the `tsdb_ops` benchmark.
+    pub(crate) fn execute_full_scan<'a, F>(&self, fetch: &F, now: SimTime) -> Vec<Row>
     where
         F: Fn(&str) -> Vec<(SimTime, f64, &'a TagSet)>,
     {
@@ -235,7 +329,7 @@ impl Select {
         let inputs: Vec<(SimTime, f64, &TagSet)> = match &self.source {
             Source::Measurement(m) => fetch(m),
             Source::Subquery(inner) => {
-                owned_rows = inner.execute(fetch, now);
+                owned_rows = inner.execute_full_scan(fetch, now);
                 owned_rows
                     .iter()
                     .map(|row| (now, row.value, &row.tags))
@@ -252,12 +346,10 @@ impl Select {
             {
                 continue;
             }
-            let key: TagSet = self
-                .group_by
-                .iter()
-                .filter_map(|k| tags.get(k).map(|v| (k.clone(), v.clone())))
-                .collect();
-            groups.entry(key).or_default().push((time, value));
+            groups
+                .entry(project_tags(tags, &self.group_by))
+                .or_default()
+                .push((time, value));
         }
 
         groups
@@ -268,6 +360,86 @@ impl Select {
             })
             .collect()
     }
+}
+
+/// A seekable source of time-ordered samples, implemented by the storage
+/// layer. The contract `execute_streaming` relies on: series are visited
+/// in tag-set order and, within a series, samples in timestamp order
+/// (stable for equal timestamps) — the same total order the full scan
+/// produces, so both executors fold groups identically.
+pub(crate) trait WindowSource {
+    /// Streams every sample of `measurement` with `lo <= time` (and
+    /// `time < hi` when `hi` is bounded) into `emit`.
+    fn stream_window(
+        &self,
+        measurement: &str,
+        lo: SimTime,
+        hi: Option<SimTime>,
+        emit: &mut dyn FnMut(SimTime, f64, &TagSet),
+    );
+}
+
+/// Resolves the conjunction of time predicates into a half-open scan
+/// range `[lo, hi)`; `hi` is `None` when unbounded above.
+pub(crate) fn scan_bounds(predicates: &[Predicate], now: SimTime) -> (SimTime, Option<SimTime>) {
+    let mut lo = SimTime::ZERO;
+    let mut hi: Option<SimTime> = None;
+    for predicate in predicates {
+        match predicate {
+            Predicate::TimeAtLeast(bound) => lo = lo.max(bound.resolve(now)),
+            Predicate::TimeBefore(bound) => {
+                let resolved = bound.resolve(now);
+                hi = Some(hi.map_or(resolved, |h| h.min(resolved)));
+            }
+            _ => {}
+        }
+    }
+    (lo, hi)
+}
+
+/// Projects a full tag set onto the `GROUP BY` keys.
+pub(crate) fn project_tags(tags: &TagSet, keys: &[String]) -> TagSet {
+    keys.iter()
+        .filter_map(|k| tags.get(k).map(|v| (k.clone(), v.clone())))
+        .collect()
+}
+
+/// Applies a select to already-aggregated rows treated as observations at
+/// `now` — the outer half of a nested query. Shared by the streaming
+/// executor and the windowed cache so both produce identical results.
+pub(crate) fn aggregate_rows(select: &Select, inputs: &[Row], now: SimTime) -> Vec<Row> {
+    let (lo, hi) = scan_bounds(&select.predicates, now);
+    let mut groups: BTreeMap<TagSet, AggState> = BTreeMap::new();
+    if now >= lo && hi.is_none_or(|h| now < h) {
+        let residual: Vec<&Predicate> = select
+            .predicates
+            .iter()
+            .filter(|p| !p.is_time_bound())
+            .collect();
+        for row in inputs {
+            if !residual
+                .iter()
+                .all(|p| p.matches(now, row.value, &row.tags, now))
+            {
+                continue;
+            }
+            groups
+                .entry(project_tags(&row.tags, &select.group_by))
+                .or_insert_with(|| AggState::new(select.aggregate))
+                .push(now, row.value);
+        }
+    }
+    finish_groups(groups)
+}
+
+pub(crate) fn finish_groups(groups: BTreeMap<TagSet, AggState>) -> Vec<Row> {
+    groups
+        .into_iter()
+        .map(|(tags, state)| Row {
+            value: state.finish(),
+            tags,
+        })
+        .collect()
 }
 
 /// One result row: the grouping tags and the aggregated value.
@@ -348,15 +520,25 @@ mod tests {
         assert!(Predicate::TagEq("node".into(), "n1".into()).matches(now, 1.0, &tags, now));
         assert!(!Predicate::TagEq("node".into(), "n2".into()).matches(now, 1.0, &tags, now));
         assert!(
-            Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_secs(25)))
-                .matches(SimTime::from_secs(80), 1.0, &tags, now)
+            Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_secs(25))).matches(
+                SimTime::from_secs(80),
+                1.0,
+                &tags,
+                now
+            )
         );
         assert!(
-            !Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_secs(25)))
-                .matches(SimTime::from_secs(70), 1.0, &tags, now)
+            !Predicate::TimeAtLeast(TimeBound::SinceNowMinus(SimDuration::from_secs(25))).matches(
+                SimTime::from_secs(70),
+                1.0,
+                &tags,
+                now
+            )
         );
-        assert!(Predicate::TimeBefore(TimeBound::Absolute(SimTime::from_secs(101)))
-            .matches(now, 1.0, &tags, now));
+        assert!(
+            Predicate::TimeBefore(TimeBound::Absolute(SimTime::from_secs(101)))
+                .matches(now, 1.0, &tags, now)
+        );
     }
 
     #[test]

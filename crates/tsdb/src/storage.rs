@@ -5,30 +5,81 @@ use std::collections::BTreeMap;
 use des::{SimDuration, SimTime};
 
 use crate::point::{Point, TagSet};
-use crate::query::{Row, Select};
+use crate::query::{Row, Select, WindowSource};
 
 /// One series: a measurement + tag-set pair with its time-ordered samples.
 #[derive(Debug, Clone, Default)]
-struct Series {
+pub(crate) struct Series {
     /// Samples sorted by time (stable for equal timestamps).
     samples: Vec<(SimTime, f64)>,
+    /// Identity assigned at creation, from a database-wide counter. Lets
+    /// the windowed cache tell a series apart from a later one with the
+    /// same tags (created after retention dropped the original).
+    id: u64,
+    /// Samples ever evicted from the front. `evicted + index` is a stable
+    /// *absolute* position that front eviction cannot shift, which is what
+    /// the windowed cache keys its ingestion cursors on.
+    evicted: u64,
 }
 
 impl Series {
-    fn insert(&mut self, time: SimTime, value: f64) {
+    fn with_id(id: u64) -> Self {
+        Series {
+            id,
+            ..Series::default()
+        }
+    }
+
+    /// `true` when the insert appended in time order; `false` when it had
+    /// to splice into the middle (out-of-order arrival).
+    fn insert(&mut self, time: SimTime, value: f64) -> bool {
         // Probes push in time order, so the common case is an append.
         match self.samples.last() {
             Some(&(last, _)) if last > time => {
                 let idx = self.samples.partition_point(|&(t, _)| t <= time);
                 self.samples.insert(idx, (time, value));
+                false
             }
-            _ => self.samples.push((time, value)),
+            _ => {
+                self.samples.push((time, value));
+                true
+            }
         }
     }
 
     fn evict_before(&mut self, cutoff: SimTime) -> usize {
         let keep_from = self.samples.partition_point(|&(t, _)| t < cutoff);
-        self.samples.drain(..keep_from).count()
+        let dropped = self.samples.drain(..keep_from).count();
+        self.evicted += dropped as u64;
+        dropped
+    }
+
+    /// The in-window slice `lo <= time < hi`, located with two binary
+    /// searches instead of a scan.
+    pub(crate) fn window(&self, lo: SimTime, hi: Option<SimTime>) -> &[(SimTime, f64)] {
+        let start = self.samples.partition_point(|&(t, _)| t < lo);
+        let end = match hi {
+            Some(hi) => self.samples.partition_point(|&(t, _)| t < hi),
+            None => self.samples.len(),
+        };
+        &self.samples[start..end.max(start)]
+    }
+
+    pub(crate) fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn evicted_count(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Absolute position one past the last stored sample: `evicted + len`.
+    pub(crate) fn absolute_len(&self) -> u64 {
+        self.evicted + self.samples.len() as u64
     }
 }
 
@@ -58,6 +109,14 @@ pub struct Database {
     measurements: BTreeMap<String, BTreeMap<TagSet, Series>>,
     points_inserted: u64,
     points_evicted: u64,
+    /// Monotonic id handed to each newly created series.
+    series_seq: u64,
+    /// Bumped whenever an insert lands out of time order; the windowed
+    /// cache watches this stamp and rebuilds when it moves.
+    out_of_order_inserts: u64,
+    /// Highest retention cutoff ever enforced: no stored sample is older
+    /// than this, and cached window state must discard anything older too.
+    eviction_cutoff: SimTime,
 }
 
 impl Database {
@@ -69,18 +128,38 @@ impl Database {
     /// Inserts a point.
     pub fn insert(&mut self, point: Point) {
         let (measurement, tags, time, value) = point.into_parts();
-        self.measurements
+        let series_seq = &mut self.series_seq;
+        let in_order = self
+            .measurements
             .entry(measurement)
             .or_default()
             .entry(tags)
-            .or_default()
+            .or_insert_with(|| {
+                *series_seq += 1;
+                Series::with_id(*series_seq)
+            })
             .insert(time, value);
+        if !in_order {
+            self.out_of_order_inserts += 1;
+        }
         self.points_inserted += 1;
     }
 
     /// Executes a (possibly nested) select with `now` as the evaluation
     /// instant for relative time bounds. Rows come back sorted by tag set.
+    ///
+    /// Time predicates are resolved into a scan range before any sample is
+    /// touched, so a sliding-window query costs O(log history + window)
+    /// per series rather than O(history).
     pub fn query(&self, select: &Select, now: SimTime) -> Vec<Row> {
+        select.execute_streaming(self, now)
+    }
+
+    /// Executes `select` by materialising every sample of the measurement
+    /// and filtering afterwards — the engine's original code path. Kept as
+    /// the oracle for property tests and as the benchmark baseline; the
+    /// result is bit-for-bit identical to [`query`](Self::query).
+    pub fn query_full_scan(&self, select: &Select, now: SimTime) -> Vec<Row> {
         let fetch = |measurement: &str| -> Vec<(SimTime, f64, &TagSet)> {
             self.measurements
                 .get(measurement)
@@ -94,7 +173,7 @@ impl Database {
                 })
                 .unwrap_or_default()
         };
-        select.execute(&fetch, now)
+        select.execute_full_scan(&fetch, now)
     }
 
     /// Drops every sample older than `keep` relative to `now`, across all
@@ -103,6 +182,7 @@ impl Database {
     /// InfluxDB runs continuously.
     pub fn enforce_retention(&mut self, now: SimTime, keep: SimDuration) -> usize {
         let cutoff = SimTime::from_micros(now.as_micros().saturating_sub(keep.as_micros()));
+        self.eviction_cutoff = self.eviction_cutoff.max(cutoff);
         let mut evicted = 0;
         for series_map in self.measurements.values_mut() {
             for series in series_map.values_mut() {
@@ -113,6 +193,22 @@ impl Database {
         self.measurements.retain(|_, m| !m.is_empty());
         self.points_evicted += evicted as u64;
         evicted
+    }
+
+    /// Lifetime count of inserts that arrived out of time order.
+    pub fn out_of_order_inserts(&self) -> u64 {
+        self.out_of_order_inserts
+    }
+
+    /// The highest retention cutoff enforced so far ([`SimTime::ZERO`]
+    /// before the first eviction).
+    pub fn eviction_cutoff(&self) -> SimTime {
+        self.eviction_cutoff
+    }
+
+    /// The series of one measurement, in tag-set order.
+    pub(crate) fn series_of(&self, measurement: &str) -> Option<&BTreeMap<TagSet, Series>> {
+        self.measurements.get(measurement)
     }
 
     /// Number of distinct series currently stored.
@@ -172,6 +268,24 @@ impl Database {
         let mut db = Database::new();
         db.extend(crate::wire::decode(data)?);
         Ok(db)
+    }
+}
+
+impl WindowSource for Database {
+    fn stream_window(
+        &self,
+        measurement: &str,
+        lo: SimTime,
+        hi: Option<SimTime>,
+        emit: &mut dyn FnMut(SimTime, f64, &TagSet),
+    ) {
+        if let Some(series_map) = self.measurements.get(measurement) {
+            for (tags, series) in series_map {
+                for &(time, value) in series.window(lo, hi) {
+                    emit(time, value, tags);
+                }
+            }
+        }
     }
 }
 

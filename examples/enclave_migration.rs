@@ -20,11 +20,17 @@ fn main() {
     let mut source = SgxDriver::sgx1_default().with_platform(1);
     let mut target = SgxDriver::sgx1_default().with_platform(2);
     let pod = CgroupPath::new("/kubepods/stateful-kv");
-    source.set_pod_limit(&pod, EpcPages::from_mib_ceil(32)).unwrap();
-    target.set_pod_limit(&pod, EpcPages::from_mib_ceil(32)).unwrap();
+    source
+        .set_pod_limit(&pod, EpcPages::from_mib_ceil(32))
+        .unwrap();
+    target
+        .set_pod_limit(&pod, EpcPages::from_mib_ceil(32))
+        .unwrap();
 
     let enclave = source.create_enclave(Pid::new(1), pod.clone());
-    source.add_pages(enclave, EpcPages::from_mib_ceil(24)).unwrap();
+    source
+        .add_pages(enclave, EpcPages::from_mib_ceil(24))
+        .unwrap();
     source.init_enclave(enclave).unwrap();
     source.ecall(enclave, EpcPages::from_mib_ceil(24)).unwrap();
 

@@ -48,8 +48,7 @@ fn main() {
             .runs()
             .iter()
             .filter(|r| {
-                r.malicious
-                    && matches!(r.record.outcome, orchestrator::PodOutcome::Denied { .. })
+                r.malicious && matches!(r.record.outcome, orchestrator::PodOutcome::Denied { .. })
             })
             .count();
         println!(

@@ -91,12 +91,8 @@ fn main() {
             "  {:<18} outcome={:<28} waiting={:<10} turnaround={}",
             record.name,
             format!("{:?}", record.outcome),
-            record
-                .waiting_time()
-                .map_or("-".into(), |d| d.to_string()),
-            record
-                .turnaround()
-                .map_or("-".into(), |d| d.to_string()),
+            record.waiting_time().map_or("-".into(), |d| d.to_string()),
+            record.turnaround().map_or("-".into(), |d| d.to_string()),
         );
     }
 }

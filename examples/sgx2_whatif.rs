@@ -49,7 +49,8 @@ fn main() {
 
     // On SGX1 the same call is impossible.
     let mut sgx1 = SgxDriver::sgx1_default();
-    sgx1.set_pod_limit(&pod, EpcPages::from_mib_ceil(32)).unwrap();
+    sgx1.set_pod_limit(&pod, EpcPages::from_mib_ceil(32))
+        .unwrap();
     let e1 = sgx1.create_enclave(Pid::new(2), pod.clone());
     sgx1.add_pages(e1, EpcPages::from_mib_ceil(8)).unwrap();
     sgx1.init_enclave(e1).unwrap();

@@ -95,8 +95,14 @@ fn same_seed_same_everything_different_seed_different_trace() {
     let c = Experiment::quick(7).run();
     assert_ne!(a.runs().len(), 0);
     assert_ne!(
-        a.runs().iter().map(|r| r.record.submitted_at).collect::<Vec<_>>(),
-        c.runs().iter().map(|r| r.record.submitted_at).collect::<Vec<_>>()
+        a.runs()
+            .iter()
+            .map(|r| r.record.submitted_at)
+            .collect::<Vec<_>>(),
+        c.runs()
+            .iter()
+            .map(|r| r.record.submitted_at)
+            .collect::<Vec<_>>()
     );
 }
 

@@ -124,7 +124,9 @@ fn remote_attestation_of_a_scheduled_pod() {
     let driver = node.driver().unwrap();
 
     // The verifier knows the code identity and expected size.
-    let expected = driver.measure_enclave(enclave, pod.spec.image.name()).unwrap();
+    let expected = driver
+        .measure_enclave(enclave, pod.spec.image.name())
+        .unwrap();
     let signer = Signer::new("tenant");
     let report = driver.aesm().report(expected, &signer, 0xD00D);
     let quote = driver.aesm().quote(&report).unwrap();
@@ -132,7 +134,10 @@ fn remote_attestation_of_a_scheduled_pod() {
 
     // A verifier expecting different code rejects it.
     let wrong = Measurement::compute("other-code", EpcPages::from_mib_ceil(16));
-    assert_eq!(Aesm::verify_quote(&quote, wrong), QuoteVerdict::WrongMeasurement);
+    assert_eq!(
+        Aesm::verify_quote(&quote, wrong),
+        QuoteVerdict::WrongMeasurement
+    );
 }
 
 /// Drain + migration end to end: a maintenance drain empties an SGX node
@@ -142,13 +147,15 @@ fn drain_then_bill_everything() {
     let mut orch = Orchestrator::new(ClusterSpec::paper_cluster(), OrchestratorConfig::paper());
     let mut uids = Vec::new();
     for i in 0..4 {
-        uids.push(orch.submit(
-            PodSpec::builder(format!("svc-{i}"))
-                .sgx_resources(ByteSize::from_mib(15))
-                .duration(SimDuration::from_secs(600))
-                .build(),
-            SimTime::ZERO,
-        ));
+        uids.push(
+            orch.submit(
+                PodSpec::builder(format!("svc-{i}"))
+                    .sgx_resources(ByteSize::from_mib(15))
+                    .duration(SimDuration::from_secs(600))
+                    .build(),
+                SimTime::ZERO,
+            ),
+        );
     }
     orch.scheduler_pass(SimTime::from_secs(5));
     let drained = NodeName::new("sgx-1");

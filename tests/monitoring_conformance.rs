@@ -12,7 +12,11 @@ use sgx_sim::units::ByteSize;
 use tsdb::Database;
 
 fn sgx_node(name: &str) -> Node {
-    Node::new(NodeName::new(name), MachineSpec::sgx_node(), NodeRole::Worker)
+    Node::new(
+        NodeName::new(name),
+        MachineSpec::sgx_node(),
+        NodeRole::Worker,
+    )
 }
 
 #[test]
@@ -140,13 +144,11 @@ fn orchestrator_view_agrees_with_manual_query() {
     assert_eq!(measured[0].1.epc_measured, ByteSize::from_mib(24));
 
     // The same number through the raw query path.
-    let query = tsdb::influxql::parse(
-        &format!(
-            "SELECT SUM(epc) FROM (SELECT MAX(value) FROM \"{MEASUREMENT_EPC}\" \
+    let query = tsdb::influxql::parse(&format!(
+        "SELECT SUM(epc) FROM (SELECT MAX(value) FROM \"{MEASUREMENT_EPC}\" \
              WHERE value <> 0 AND time >= now() - 25s GROUP BY pod_name, nodename) \
              GROUP BY nodename"
-        ),
-    )
+    ))
     .unwrap();
     let rows = orch.db().query(&query, SimTime::from_secs(12));
     assert_eq!(rows.len(), 1);

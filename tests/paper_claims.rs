@@ -23,7 +23,10 @@ fn fig7_claim_bigger_epc_smaller_makespan() {
         })
         .collect();
     for pair in makespans.windows(2) {
-        assert!(pair[0] >= pair[1], "makespans must not increase: {makespans:?}");
+        assert!(
+            pair[0] >= pair[1],
+            "makespans must not increase: {makespans:?}"
+        );
     }
     assert!(
         makespans[0] > makespans[3],
@@ -92,9 +95,7 @@ fn fig11_claim_limits_annihilate_the_attack() {
     let stolen_quarter = base().limits(false).malicious(0.25).run();
     let stolen_half = base().limits(false).malicious(0.5).run();
 
-    let p95 = |r: &simulation::ReplayResult| {
-        waiting_cdf(r, None).quantile(0.95).unwrap_or(0.0)
-    };
+    let p95 = |r: &simulation::ReplayResult| waiting_cdf(r, None).quantile(0.95).unwrap_or(0.0);
     assert!(
         p95(&stolen_half) > p95(&stolen_quarter),
         "more stolen EPC, longer waits: {} vs {}",
@@ -119,15 +120,9 @@ fn fig11_claim_limits_annihilate_the_attack() {
 /// when enforcement is on, and so are trace jobs that under-declare.
 #[test]
 fn fig11_claim_denials_fall_on_over_users() {
-    let result = Experiment::quick(42)
-        .sgx_ratio(1.0)
-        .malicious(0.5)
-        .run();
+    let result = Experiment::quick(42).sgx_ratio(1.0).malicious(0.5).run();
     for run in result.runs() {
-        let denied = matches!(
-            run.record.outcome,
-            orchestrator::PodOutcome::Denied { .. }
-        );
+        let denied = matches!(run.record.outcome, orchestrator::PodOutcome::Denied { .. });
         if run.malicious {
             assert!(denied, "malicious squatters must be denied");
         }

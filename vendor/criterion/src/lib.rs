@@ -1,0 +1,286 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness:
+//! a short calibration pass sizes the batch, then a fixed number of
+//! timed batches are run and the per-iteration median/min are printed.
+//! No statistical regression analysis, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(20);
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+const SAMPLES: usize = 11;
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters which benchmarks run,
+        // mirroring real criterion's CLI behaviour.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { measurement: None };
+        f(&mut bencher);
+        match bencher.measurement {
+            Some(m) => println!(
+                "{id:<50} median {:>12}  min {:>12}  ({} iters/sample, {} samples)",
+                format_ns(m.median_ns),
+                format_ns(m.min_ns),
+                m.iters_per_sample,
+                m.samples
+            ),
+            None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labelled `<group>/<id>`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark inside the group without an input parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+struct Measurement {
+    median_ns: f64,
+    min_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in batches until timing stabilises.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in the calibration window?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_TARGET || iters >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
+                iters = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.measurement = Some(Measurement {
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            iters_per_sample: iters,
+            samples: SAMPLES,
+        });
+    }
+
+    /// Like [`iter`](Self::iter), but each iteration's input is produced
+    /// by `setup` outside the timed region. Each routine call is timed
+    /// individually (a few ns of clock overhead per call), so this suits
+    /// routines that consume their input and take µs or more.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let timed_batch = |setup: &mut S, routine: &mut R, iters: u64| -> Duration {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                std_black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            elapsed
+        };
+
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = timed_batch(&mut setup, &mut routine, iters);
+            if elapsed >= CALIBRATION_TARGET || iters >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
+                iters = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let elapsed = timed_batch(&mut setup, &mut routine, iters);
+            per_iter_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.measurement = Some(Measurement {
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            iters_per_sample: iters,
+            samples: SAMPLES,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { measurement: None };
+        b.iter(|| (0..64u64).sum::<u64>());
+        let m = b.measurement.expect("measurement recorded");
+        assert!(m.min_ns > 0.0);
+        assert!(m.median_ns >= m.min_ns);
+    }
+
+    #[test]
+    fn format_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+}

@@ -1,0 +1,30 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The only facility this workspace needs is scoped threads, which the
+//! standard library has provided since Rust 1.63 with the same borrowing
+//! guarantees crossbeam pioneered. [`thread`] re-exports the std
+//! implementation so call sites read `crossbeam::thread::scope(...)` and
+//! swap transparently for the real crate when a registry is available.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_the_stack() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: range / tuple / `Just` / mapped / union strategies,
+//! `prop::collection::vec`, `any::<T>()`, the `proptest!` test macro with
+//! optional `#![proptest_config(...)]`, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from the real crate, chosen deliberately for an offline,
+//! deterministic build:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim; rerunning is exact because generation is seeded from the
+//!   test's fully qualified name.
+//! * **Fixed seeding.** Every run explores the same case sequence, so CI
+//!   and local runs agree. Bump [`test_runner::ProptestConfig::cases`]
+//!   to widen exploration.
+
+#![forbid(unsafe_code)]
+// The doc example necessarily shows `proptest!` wrapping a `#[test]` —
+// that is the macro's entire purpose — so the doctest-lint is moot here.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config: $crate::test_runner::ProptestConfig = $config;
+            let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __proptest_case in 0..__proptest_config.cases {
+                let mut __proptest_inputs: ::std::vec::Vec<(
+                    &'static str,
+                    ::std::string::String,
+                )> = ::std::vec::Vec::new();
+                $(
+                    let __proptest_value = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                    __proptest_inputs.push((
+                        stringify!($arg),
+                        ::std::format!("{:?}", __proptest_value),
+                    ));
+                    let $arg = __proptest_value;
+                )*
+                let __proptest_result: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = __proptest_result {
+                    let rendered: ::std::vec::Vec<::std::string::String> = __proptest_inputs
+                        .iter()
+                        .map(|(name, value)| ::std::format!("    {name} = {value}"))
+                        .collect();
+                    ::core::panic!(
+                        "proptest case {} of {} failed: {}\ninputs:\n{}",
+                        __proptest_case + 1,
+                        __proptest_config.cases,
+                        err,
+                        rendered.join("\n"),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Combines strategies producing the same value type; each generated case
+/// picks one uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces, exactly like the real crate with its `derive`
+//! feature, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives
+//! expand to nothing (see `serde_derive`); the traits are markers. If a
+//! future change needs real serialisation, replace this vendored crate
+//! with the genuine one — every annotation in the workspace is already in
+//! place.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility, but no
+//! code path actually serialises through the serde traits (the tsdb wire
+//! format is hand-rolled in `tsdb::wire`). These derives therefore expand
+//! to nothing: the attribute stays valid, the dependency graph stays
+//! intact, and no generated code can drift out of sync.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
