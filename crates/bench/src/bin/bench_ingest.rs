@@ -1,0 +1,203 @@
+//! Ingestion throughput sweep: points/sec for the probe→database path,
+//! across shard counts (1/4/8) and cluster sizes (1/5/20 nodes).
+//!
+//! Two transports are measured per cell:
+//!
+//! * `per_point` — the seed path: one [`Point`] per sample, measurement
+//!   and both tag strings cloned for every insert, single writer behind
+//!   one lock.
+//! * `batched` — one [`PointBatch`] frame per node per scrape, shipped
+//!   over bounded crossbeam channels from per-node producer threads to
+//!   per-shard writer threads calling
+//!   [`ShardedDatabase::insert_batch`].
+//!
+//! Prints a JSON document (see `BENCH_ingest.json` at the repo root for
+//! a recorded run) to stdout:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_ingest > BENCH_ingest.json
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use des::SimTime;
+use tsdb::{Point, PointBatch, ShardedDatabase};
+
+const PODS_PER_NODE: usize = 8;
+/// Target sample volume per measured cell; passes scale inversely with
+/// cluster size so every cell moves roughly this many points.
+const TARGET_POINTS: usize = 240_000;
+const REPS: usize = 3;
+
+fn passes_for(nodes: usize) -> usize {
+    (TARGET_POINTS / (nodes * PODS_PER_NODE)).max(1)
+}
+
+fn node_name(node: usize) -> String {
+    format!("node-{node:02}")
+}
+
+/// The frame node `node` emits at scrape pass `pass`.
+fn frame_for(node: usize, pass: usize) -> PointBatch {
+    let now = SimTime::from_secs(10 * (pass as u64 + 1));
+    let mut batch =
+        PointBatch::new("sgx/epc", "pod_name", now).with_shared_tag("nodename", node_name(node));
+    for pod in 0..PODS_PER_NODE {
+        batch.push(
+            format!("pod-{pod}"),
+            (node * 1000 + pod * 10 + pass % 7 + 1) as f64,
+        );
+    }
+    batch
+}
+
+/// Seed transport: the same samples as standalone points, every tag
+/// cloned per point, inserted one by one from a single thread.
+fn run_per_point(db: &ShardedDatabase, nodes: usize, passes: usize) {
+    for pass in 0..passes {
+        let now = SimTime::from_secs(10 * (pass as u64 + 1));
+        for node in 0..nodes {
+            for pod in 0..PODS_PER_NODE {
+                db.insert(
+                    Point::new(
+                        "sgx/epc",
+                        now,
+                        (node * 1000 + pod * 10 + pass % 7 + 1) as f64,
+                    )
+                    .with_tag("pod_name", format!("pod-{pod}"))
+                    .with_tag("nodename", node_name(node)),
+                );
+            }
+        }
+    }
+}
+
+/// Batched transport, no threads: the same frames inserted from the
+/// probe loop directly — isolates the wire-format/allocation win from
+/// parallelism.
+fn run_batched_direct(db: &ShardedDatabase, nodes: usize, passes: usize) {
+    for pass in 0..passes {
+        for node in 0..nodes {
+            db.insert_batch(&frame_for(node, pass));
+        }
+    }
+}
+
+/// Batched transport: per-node producer threads ship one frame per node
+/// per pass over bounded channels to writer threads; a node's frames
+/// always land on the same writer, preserving per-series order.
+fn run_batched(db: &ShardedDatabase, nodes: usize, passes: usize, writers: usize) {
+    crossbeam::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(writers);
+        for _ in 0..writers {
+            let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(16);
+            senders.push(tx);
+            scope.spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    db.insert_batch(&batch);
+                }
+            });
+        }
+        let producers = writers.min(nodes);
+        for offset in 0..producers {
+            let senders = senders.clone();
+            scope.spawn(move || {
+                for pass in 0..passes {
+                    for node in (offset..nodes).step_by(producers) {
+                        let mut hasher = DefaultHasher::new();
+                        node_name(node).hash(&mut hasher);
+                        let writer = hasher.finish() as usize % senders.len();
+                        senders[writer]
+                            .send(frame_for(node, pass))
+                            .expect("writer alive");
+                    }
+                }
+            });
+        }
+        drop(senders);
+    });
+}
+
+/// Best-of-`REPS` throughput in points/sec.
+fn measure(points: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        run();
+        let rate = points as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for &shards in &[1usize, 4, 8] {
+        for &nodes in &[1usize, 5, 20] {
+            let passes = passes_for(nodes);
+            let points = nodes * PODS_PER_NODE * passes;
+            let per_point = measure(points, || {
+                let db = ShardedDatabase::new(shards);
+                run_per_point(&db, nodes, passes);
+                assert_eq!(db.points_inserted() as usize, points);
+            });
+            let batched_direct = measure(points, || {
+                let db = ShardedDatabase::new(shards);
+                run_batched_direct(&db, nodes, passes);
+                assert_eq!(db.points_inserted() as usize, points);
+            });
+            let writers = shards.min(4);
+            let batched_threaded = measure(points, || {
+                let db = ShardedDatabase::new(shards);
+                run_batched(&db, nodes, passes, writers);
+                assert_eq!(db.points_inserted() as usize, points);
+            });
+            eprintln!(
+                "shards={shards} nodes={nodes}: per_point {per_point:.0} pts/s, \
+                 batched {batched_direct:.0} pts/s ({:.2}x), \
+                 threaded {batched_threaded:.0} pts/s ({:.2}x)",
+                batched_direct / per_point,
+                batched_threaded / per_point
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"shards\": {}, \"nodes\": {}, \"writers\": {}, ",
+                    "\"points\": {}, \"per_point_pts_per_sec\": {:.0}, ",
+                    "\"batched_pts_per_sec\": {:.0}, ",
+                    "\"batched_threaded_pts_per_sec\": {:.0}, ",
+                    "\"batched_speedup\": {:.2}, \"threaded_speedup\": {:.2}}}"
+                ),
+                shards,
+                nodes,
+                writers,
+                points,
+                per_point,
+                batched_direct,
+                batched_threaded,
+                batched_direct / per_point,
+                batched_threaded / per_point
+            ));
+        }
+    }
+    println!("{{");
+    println!("  \"benchmark\": \"probe_to_tsdb_ingestion\",");
+    println!("  \"unit\": \"points_per_second\",");
+    println!("  \"cores\": {cores},");
+    if cores == 1 {
+        println!(
+            "  \"note\": \"single-core runner: the threaded pipeline cannot \
+             exceed 1x; shard-parallel speedups need a multi-core host\","
+        );
+    }
+    println!("  \"pods_per_node\": {PODS_PER_NODE},");
+    println!("  \"reps\": {REPS},");
+    println!("  \"results\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -16,7 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 use des::{SimDuration, SimTime};
-use tsdb::Point;
+use tsdb::{Point, PointBatch};
 
 use crate::node::Node;
 
@@ -90,20 +90,30 @@ impl Probe {
 
     /// Scrapes the node, producing one point per pod with non-zero usage.
     /// Values are bytes; tags are `pod_name` and `nodename`.
+    ///
+    /// Convenience wrapper over [`sample_batch`](Self::sample_batch) for
+    /// callers that want standalone points; the batched form is the hot
+    /// path.
     pub fn sample(&self, node: &Node, now: SimTime) -> Vec<Point> {
-        let nodename = node.name().as_str().to_string();
+        self.sample_batch(node, now).to_points()
+    }
+
+    /// Scrapes the node into one [`PointBatch`] — the wire frame the
+    /// ingestion pipeline ships per node per scrape. The `nodename` tag
+    /// and measurement are stored once for the whole frame instead of
+    /// being cloned into every point; each row carries only the pod name
+    /// and the usage in bytes.
+    pub fn sample_batch(&self, node: &Node, now: SimTime) -> PointBatch {
         let (measurement, usage) = match self.kind {
             ProbeKind::Heapster => (MEASUREMENT_MEMORY, node.memory_usage_by_pod()),
             ProbeKind::Sgx => (MEASUREMENT_EPC, node.epc_usage_by_pod()),
         };
-        usage
-            .into_iter()
-            .map(|(uid, bytes)| {
-                Point::new(measurement, now, bytes.as_bytes() as f64)
-                    .with_tag("pod_name", uid.to_string())
-                    .with_tag("nodename", nodename.clone())
-            })
-            .collect()
+        let mut batch = PointBatch::new(measurement, "pod_name", now)
+            .with_shared_tag("nodename", node.name().as_str());
+        for (uid, bytes) in usage {
+            batch.push(uid.to_string(), bytes.as_bytes() as f64);
+        }
+        batch
     }
 }
 
@@ -188,6 +198,30 @@ mod tests {
         for probe in Probe::default_pair() {
             assert!(probe.sample(&std_node, SimTime::ZERO).is_empty());
             assert!(probe.sample(&sgx_node, SimTime::ZERO).is_empty());
+            assert!(probe.sample_batch(&sgx_node, SimTime::ZERO).is_empty());
         }
+    }
+
+    #[test]
+    fn sample_batch_carries_shared_tags_once() {
+        let (mut std_node, _) = nodes();
+        let mut rng = seeded_rng(3);
+        for uid in 0..4 {
+            let spec = PodSpec::builder("web")
+                .memory_resources(ByteSize::from_mib(256))
+                .build();
+            std_node
+                .run_pod(PodUid::new(uid), spec, SimTime::ZERO, &mut rng)
+                .unwrap();
+        }
+        let probe = Probe::heapster(SimDuration::from_secs(10));
+        let now = SimTime::from_secs(10);
+        let batch = probe.sample_batch(&std_node, now);
+        assert_eq!(batch.measurement(), MEASUREMENT_MEMORY);
+        assert_eq!(batch.row_tag_key(), "pod_name");
+        assert_eq!(batch.shared_tags().get("nodename").unwrap(), "std-1");
+        assert_eq!(batch.len(), 4);
+        // The unbatched view is exactly the expanded batch.
+        assert_eq!(probe.sample(&std_node, now), batch.to_points());
     }
 }

@@ -20,7 +20,7 @@ use cluster::probe::{MEASUREMENT_EPC, MEASUREMENT_MEMORY};
 use cluster::topology::Cluster;
 use des::{SimDuration, SimTime};
 use sgx_sim::units::{ByteSize, EpcPages};
-use tsdb::{Aggregate, Database, Predicate, Row, Select, TimeBound, WindowedCache};
+use tsdb::{Aggregate, Predicate, Row, Select, SeriesStore, TimeBound, WindowedCache};
 
 /// Capacity and occupancy of one node, as the scheduler sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -122,15 +122,22 @@ impl NodeView {
 }
 
 /// Snapshot of every schedulable node, taken once per scheduling pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClusterView {
     nodes: BTreeMap<NodeName, NodeView>,
 }
 
 impl ClusterView {
     /// Builds the view: capacities and requests from the cluster, measured
-    /// usage from sliding-window queries against the database.
-    pub fn capture(cluster: &Cluster, db: &Database, now: SimTime, window: SimDuration) -> Self {
+    /// usage from sliding-window queries against the database — any
+    /// [`SeriesStore`], the single-writer `Database` or the sharded
+    /// concurrent one.
+    pub fn capture<S: SeriesStore + ?Sized>(
+        cluster: &Cluster,
+        db: &S,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Self {
         Self::capture_with(cluster, now, window, &mut |select, now| {
             db.query(select, now)
         })
@@ -140,9 +147,9 @@ impl ClusterView {
     /// through a [`WindowedCache`], so a scheduling tick only pays for the
     /// samples that entered or left the 25 s window since the previous
     /// tick. Results are bit-for-bit identical to [`capture`].
-    pub fn capture_cached(
+    pub fn capture_cached<S: SeriesStore + ?Sized>(
         cluster: &Cluster,
-        db: &Database,
+        db: &S,
         cache: &mut WindowedCache,
         now: SimTime,
         window: SimDuration,
@@ -253,7 +260,7 @@ mod tests {
     use cluster::api::PodUid;
     use cluster::topology::ClusterSpec;
     use des::rng::seeded_rng;
-    use tsdb::Point;
+    use tsdb::{Database, Point};
 
     fn paper_view(db: &Database, cluster: &Cluster, now: SimTime) -> ClusterView {
         ClusterView::capture(cluster, db, now, SimDuration::from_secs(25))

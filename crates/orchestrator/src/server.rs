@@ -8,14 +8,14 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use cluster::api::{NodeName, PodSpec, PodUid};
-use cluster::node::PodStartReport;
+use cluster::node::{Node, PodStartReport};
 use cluster::probe::Probe;
 use cluster::topology::{Cluster, ClusterSpec};
 use cluster::ClusterError;
 use des::rng::{derive_seed, seeded_rng};
 use des::{SimDuration, SimTime};
 use sgx_sim::units::{ByteSize, EpcPages};
-use tsdb::{Database, WindowedCache};
+use tsdb::{PointBatch, ShardedDatabase, WindowedCache};
 
 use crate::events::{EventKind, EventLog};
 use crate::metrics::ClusterView;
@@ -35,6 +35,9 @@ pub struct OrchestratorConfig {
     pub probe_period: SimDuration,
     /// Retention of the time-series database.
     pub retention: SimDuration,
+    /// Number of independently locked shards the ingestion database is
+    /// split into (≥ 1; 1 behaves exactly like the unsharded store).
+    pub ingest_shards: usize,
     /// Base seed for the startup-cost jitter stream.
     pub seed: u64,
 }
@@ -49,6 +52,7 @@ impl OrchestratorConfig {
             scheduler_period: SimDuration::from_secs(5),
             probe_period: SimDuration::from_secs(10),
             retention: SimDuration::from_mins(15),
+            ingest_shards: 4,
             seed: 0,
         }
     }
@@ -56,6 +60,12 @@ impl OrchestratorConfig {
     /// Same configuration with a different base seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a different ingestion shard count.
+    pub fn with_ingest_shards(mut self, shards: usize) -> Self {
+        self.ingest_shards = shards.max(1);
         self
     }
 
@@ -156,7 +166,7 @@ pub struct BindOutcome {
 #[derive(Debug)]
 pub struct Orchestrator {
     cluster: Cluster,
-    db: Database,
+    db: ShardedDatabase,
     /// Incremental state for the per-pass Listing-1 queries. Interior
     /// mutability keeps [`capture_view`](Orchestrator::capture_view) a
     /// `&self` read — the cache is an acceleration structure, not
@@ -180,7 +190,7 @@ impl Orchestrator {
         ];
         Orchestrator {
             cluster: Cluster::build(&spec),
-            db: Database::new(),
+            db: ShardedDatabase::new(config.ingest_shards),
             window_cache: RefCell::new(WindowedCache::new()),
             queue: PendingQueue::new(),
             probes,
@@ -213,7 +223,7 @@ impl Orchestrator {
     }
 
     /// Read access to the time-series database.
-    pub fn db(&self) -> &Database {
+    pub fn db(&self) -> &ShardedDatabase {
         &self.db
     }
 
@@ -367,17 +377,79 @@ impl Orchestrator {
     }
 
     /// One probe pass (§V-C): every probe scrapes every node it targets
-    /// and pushes the points into the database; retention is enforced.
+    /// into one [`PointBatch`] per node and pushes the frames into the
+    /// database; retention is enforced. The batched transport stores the
+    /// measurement and `nodename` tag once per frame instead of cloning
+    /// them into every point.
     pub fn probe_pass(&mut self, now: SimTime) {
-        let mut points = Vec::new();
         for probe in &self.probes {
             for node in self.cluster.nodes() {
                 if probe.targets(node) {
-                    points.extend(probe.sample(node, now));
+                    self.db.insert_batch(&probe.sample_batch(node, now));
                 }
             }
         }
-        self.db.extend(points);
+        self.db.enforce_retention(now, self.config.retention);
+    }
+
+    /// [`probe_pass`](Self::probe_pass) with the fleet fan-in ran
+    /// concurrently: `threads` producer threads scrape disjoint node
+    /// subsets and ship each node's [`PointBatch`]es over bounded
+    /// `crossbeam` channels to `threads` shard-writer threads, which push
+    /// them into the sharded database in parallel.
+    ///
+    /// The resulting database state is **bit-identical** to the
+    /// sequential pass (property-tested in `tests/ingest_props.rs`):
+    /// within one pass every series receives at most one sample per
+    /// probe, so no same-series ordering exists to violate, and all
+    /// writer threads join before the pass returns.
+    pub fn probe_pass_concurrent(&mut self, now: SimTime, threads: usize) {
+        let threads = threads.max(1);
+        let db = &self.db;
+        let probes = &self.probes;
+        let nodes: Vec<&Node> = self.cluster.nodes().collect();
+
+        crossbeam::thread::scope(|scope| {
+            // One bounded channel per writer; a node's frames always go to
+            // the same writer (hash of the node name), so the per-node
+            // probe order is preserved end to end.
+            let mut senders = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(16);
+                senders.push(tx);
+                scope.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        db.insert_batch(&batch);
+                    }
+                });
+            }
+            // Producers scrape strided node subsets.
+            for offset in 0..threads.min(nodes.len().max(1)) {
+                let senders = senders.clone();
+                let nodes = &nodes;
+                scope.spawn(move || {
+                    for node in nodes.iter().skip(offset).step_by(threads) {
+                        let writer = {
+                            use std::hash::{Hash, Hasher};
+                            let mut h = std::collections::hash_map::DefaultHasher::new();
+                            node.name().as_str().hash(&mut h);
+                            (h.finish() % senders.len() as u64) as usize
+                        };
+                        for probe in probes {
+                            if probe.targets(node) {
+                                let batch = probe.sample_batch(node, now);
+                                if !batch.is_empty() {
+                                    senders[writer].send(batch).expect("writer alive");
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            // Drop the template senders: writers exit once every producer
+            // is done.
+            drop(senders);
+        });
         self.db.enforce_retention(now, self.config.retention);
     }
 
@@ -809,6 +881,38 @@ mod tests {
             .expect("one node reports EPC usage");
         assert_eq!(node_view.epc_measured, ByteSize::from_mib(20));
         let _ = uid;
+    }
+
+    #[test]
+    fn concurrent_probe_pass_matches_sequential_bit_for_bit() {
+        let mut sequential = orchestrator();
+        let mut concurrent = orchestrator();
+        for orch in [&mut sequential, &mut concurrent] {
+            orch.submit(sgx_spec("a", 20), SimTime::ZERO);
+            orch.submit(sgx_spec("b", 30), SimTime::ZERO);
+            orch.scheduler_pass(SimTime::from_secs(5));
+        }
+        for tick in 1..=12u64 {
+            let now = SimTime::from_secs(tick * 10);
+            sequential.probe_pass(now);
+            concurrent.probe_pass_concurrent(now, 4);
+            assert_eq!(
+                concurrent.db().snapshot(),
+                sequential.db().snapshot(),
+                "stores diverged at {now}"
+            );
+        }
+        assert_eq!(
+            concurrent.db().points_inserted(),
+            sequential.db().points_inserted()
+        );
+        // Listing-1 rows agree too.
+        let now = SimTime::from_secs(125);
+        let seq_view = sequential.capture_view(now);
+        let conc_view = concurrent.capture_view(now);
+        for (name, view) in seq_view.iter() {
+            assert_eq!(conc_view.node(name), Some(view));
+        }
     }
 
     #[test]

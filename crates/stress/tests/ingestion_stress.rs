@@ -1,0 +1,135 @@
+//! Threaded ingestion stress test (run by CI): hammers the sharded
+//! concurrent tsdb with the full probe topology — per-node producer
+//! threads shipping [`PointBatch`] frames over bounded crossbeam
+//! channels to per-shard writer threads — while reader threads run the
+//! Listing-1 query concurrently. Afterwards the store must be
+//! bit-identical to a sequential oracle fed the same samples.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use des::{SimDuration, SimTime};
+use tsdb::{Aggregate, Database, PointBatch, Predicate, Select, ShardedDatabase, TimeBound};
+
+const NODES: usize = 20;
+const PODS_PER_NODE: usize = 8;
+const PASSES: usize = 60;
+const WRITERS: usize = 4;
+const SHARDS: usize = 4;
+
+/// The frame node `node` emits at scrape pass `pass` — deterministic, so
+/// the concurrent run and the sequential oracle agree exactly.
+fn frame_for(node: usize, pass: usize) -> PointBatch {
+    let now = SimTime::from_secs(10 * (pass as u64 + 1));
+    let mut batch = PointBatch::new("sgx/epc", "pod_name", now)
+        .with_shared_tag("nodename", format!("node-{node:02}"));
+    for pod in 0..PODS_PER_NODE {
+        let value = (node * 1000 + pod * 10 + pass % 7 + 1) as f64;
+        batch.push(format!("pod-{pod}"), value);
+    }
+    batch
+}
+
+fn listing1() -> Select {
+    let per_pod = Select::from_measurement("sgx/epc")
+        .aggregate(Aggregate::Max)
+        .filter(Predicate::ValueNe(0.0))
+        .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+            SimDuration::from_secs(25),
+        )))
+        .group_by(["pod_name", "nodename"]);
+    Select::from_subquery(per_pod)
+        .aggregate(Aggregate::Sum)
+        .group_by(["nodename"])
+}
+
+#[test]
+fn threaded_batch_ingestion_survives_contention_and_matches_oracle() {
+    let db = ShardedDatabase::new(SHARDS);
+    let select = listing1();
+    let done = AtomicBool::new(false);
+
+    crossbeam::thread::scope(|outer| {
+        // Reader threads: run the Listing-1 query while writes race. Any
+        // intermediate answer is fine; the query must never panic and
+        // must only ever see at most one group per node.
+        for _ in 0..2 {
+            let db = &db;
+            let select = &select;
+            let done = &done;
+            outer.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let now = SimTime::from_secs(10 * PASSES as u64);
+                    let rows = db.query(select, now);
+                    assert!(rows.len() <= NODES, "more groups than nodes");
+                }
+            });
+        }
+
+        // The inner scope joins every producer and writer before it
+        // returns, after which the readers are told to stop.
+        crossbeam::thread::scope(|scope| {
+            // Writer threads: each drains one channel into the store.
+            let mut senders = Vec::with_capacity(WRITERS);
+            for _ in 0..WRITERS {
+                let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(8);
+                senders.push(tx);
+                let db = &db;
+                scope.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        db.insert_batch(&batch);
+                    }
+                });
+            }
+
+            // Producer threads: one per stride of nodes, emitting every
+            // pass's frame for its nodes. A node's frames always go to
+            // the same writer so per-series sample order is preserved.
+            for offset in 0..WRITERS {
+                let senders = senders.clone();
+                scope.spawn(move || {
+                    for pass in 0..PASSES {
+                        for node in (offset..NODES).step_by(WRITERS) {
+                            let writer = node % WRITERS;
+                            senders[writer]
+                                .send(frame_for(node, pass))
+                                .expect("writer alive");
+                        }
+                    }
+                });
+            }
+
+            // Writers exit when every producer hangs up.
+            drop(senders);
+        });
+
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // Sequential oracle: same frames, per-node order preserved.
+    let mut oracle = Database::new();
+    for pass in 0..PASSES {
+        for node in 0..NODES {
+            oracle.insert_batch(&frame_for(node, pass));
+        }
+    }
+
+    assert_eq!(
+        db.points_inserted(),
+        (NODES * PODS_PER_NODE * PASSES) as u64
+    );
+    assert_eq!(db.points_inserted(), oracle.points_inserted());
+    assert_eq!(db.out_of_order_inserts(), oracle.out_of_order_inserts());
+    assert_eq!(db.snapshot(), oracle.snapshot());
+
+    let now = SimTime::from_secs(10 * PASSES as u64);
+    assert_eq!(db.query(&select, now), oracle.query(&select, now));
+
+    // Retention under a fresh concurrent pass: evict everything older
+    // than 100 s from both stores and stay identical.
+    let keep = SimDuration::from_secs(100);
+    assert_eq!(
+        db.enforce_retention(now, keep),
+        oracle.enforce_retention(now, keep)
+    );
+    assert_eq!(db.snapshot(), oracle.snapshot());
+}

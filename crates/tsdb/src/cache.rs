@@ -75,15 +75,17 @@ use des::{SimDuration, SimTime};
 use crate::point::TagSet;
 use crate::query::{aggregate_rows, project_tags, Aggregate, Predicate, Select, TimeBound};
 use crate::query::{Row, Source};
-use crate::storage::Database;
+use crate::storage::SeriesStore;
 
 /// Upper bound on simultaneously cached query shapes; hitting it clears
 /// the cache rather than growing without bound. The orchestrator uses two
 /// shapes (EPC and memory), so this is generous.
 const MAX_ENTRIES: usize = 32;
 
-/// Reusable incremental state for sliding-window queries against a
-/// [`Database`]. See the module docs for the design.
+/// Reusable incremental state for sliding-window queries against any
+/// [`SeriesStore`] — the single-writer [`Database`](crate::Database) or
+/// the concurrent [`ShardedDatabase`](crate::ShardedDatabase). See the
+/// module docs for the design.
 #[derive(Debug, Clone, Default)]
 pub struct WindowedCache {
     entries: Vec<(EntryKey, Entry)>,
@@ -228,10 +230,15 @@ impl WindowedCache {
     }
 
     /// Executes `select` against `db`, reusing incremental window state
-    /// where the query shape allows it and falling back to
-    /// [`Database::query`] where it does not. Results are bit-for-bit
-    /// identical to the uncached engine either way.
-    pub fn query(&mut self, db: &Database, select: &Select, now: SimTime) -> Vec<Row> {
+    /// where the query shape allows it and falling back to the store's
+    /// own engine ([`SeriesStore::query`]) where it does not. Results are
+    /// bit-for-bit identical to the uncached engine either way.
+    pub fn query<S: SeriesStore + ?Sized>(
+        &mut self,
+        db: &S,
+        select: &Select,
+        now: SimTime,
+    ) -> Vec<Row> {
         match self.try_query(db, select, now) {
             Some(rows) => rows,
             None => {
@@ -241,7 +248,12 @@ impl WindowedCache {
         }
     }
 
-    fn try_query(&mut self, db: &Database, select: &Select, now: SimTime) -> Option<Vec<Row>> {
+    fn try_query<S: SeriesStore + ?Sized>(
+        &mut self,
+        db: &S,
+        select: &Select,
+        now: SimTime,
+    ) -> Option<Vec<Row>> {
         match select.source() {
             Source::Measurement(_) => self.query_leaf(db, select, now),
             Source::Subquery(inner) => {
@@ -258,7 +270,12 @@ impl WindowedCache {
         }
     }
 
-    fn query_leaf(&mut self, db: &Database, select: &Select, now: SimTime) -> Option<Vec<Row>> {
+    fn query_leaf<S: SeriesStore + ?Sized>(
+        &mut self,
+        db: &S,
+        select: &Select,
+        now: SimTime,
+    ) -> Option<Vec<Row>> {
         let measurement = match select.source() {
             Source::Measurement(m) => m.clone(),
             Source::Subquery(_) => return None,
@@ -321,44 +338,42 @@ impl WindowedCache {
 
         // Ingest the suffix each live series grew since the last lookup,
         // after reconciling what retention evicted from its front.
-        if let Some(series_map) = db.series_of(&key.measurement) {
-            for (tags, series) in series_map {
-                let state = entry.series.entry(tags.clone()).or_default();
-                if state.series_id != series.id() || state.consumed_abs > series.absolute_len() {
-                    // Brand-new state, a recreated series, or inconsistent
-                    // bookkeeping: ingest this series from its live start.
-                    state.reset_for(series.id(), series.evicted_count());
-                }
-                state.drop_evicted(series.evicted_count());
-                state.consumed_abs = state.consumed_abs.max(series.evicted_count());
-                let start = (state.consumed_abs - series.evicted_count()) as usize;
-                for &(time, value) in &series.samples()[start..] {
-                    let abs_pos = state.consumed_abs;
-                    state.consumed_abs += 1;
-                    if time < lo {
-                        continue; // Already outside the window; `lo` only grows.
-                    }
-                    if !key
-                        .residual
-                        .iter()
-                        .all(|p| p.matches(time, value, tags, now))
-                    {
-                        continue;
-                    }
-                    state.admit(abs_pos, time, value);
-                }
+        let cached_series = &mut entry.series;
+        let residual = &key.residual;
+        db.for_each_series(&key.measurement, &mut |series| {
+            let state = cached_series.entry(series.tags.clone()).or_default();
+            if state.series_id != series.id || state.consumed_abs > series.absolute_len() {
+                // Brand-new state, a recreated series, or inconsistent
+                // bookkeeping: ingest this series from its live start.
+                state.reset_for(series.id, series.evicted);
             }
-        }
+            state.drop_evicted(series.evicted);
+            state.consumed_abs = state.consumed_abs.max(series.evicted);
+            let start = (state.consumed_abs - series.evicted) as usize;
+            for &(time, value) in &series.samples[start..] {
+                let abs_pos = state.consumed_abs;
+                state.consumed_abs += 1;
+                if time < lo {
+                    continue; // Already outside the window; `lo` only grows.
+                }
+                if !residual
+                    .iter()
+                    .all(|p| p.matches(time, value, series.tags, now))
+                {
+                    continue;
+                }
+                state.admit(abs_pos, time, value);
+            }
+        });
 
         // Slide every window forward, and drop state for series the
         // database no longer stores — all their samples were evicted.
-        let live = db.series_of(&key.measurement);
         for state in entry.series.values_mut() {
             state.expire_before(lo);
         }
         entry
             .series
-            .retain(|tags, _| live.is_some_and(|series_map| series_map.contains_key(tags)));
+            .retain(|tags, _| db.contains_series(&key.measurement, tags));
 
         // Fold per-series summaries into group rows, visiting series in
         // tag-set order — the same order the scan feeds samples in, so
@@ -462,6 +477,7 @@ impl GroupFold {
 mod tests {
     use super::*;
     use crate::point::Point;
+    use crate::storage::Database;
 
     fn epc_point(t: u64, pod: &str, node: &str, v: f64) -> Point {
         Point::new("sgx/epc", SimTime::from_secs(t), v)
@@ -521,6 +537,32 @@ mod tests {
             }
             assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
         }
+    }
+
+    #[test]
+    fn cache_over_sharded_database_matches_engine() {
+        use crate::sharded::ShardedDatabase;
+        let db = ShardedDatabase::new(4);
+        let mut cache = WindowedCache::new();
+        let select = listing1();
+        for t in 0..80 {
+            for pod in 0..5 {
+                let node = format!("n{}", pod % 2);
+                db.insert(epc_point(
+                    t,
+                    &format!("p{pod}"),
+                    &node,
+                    (t + pod * 3) as f64,
+                ));
+            }
+            let now = SimTime::from_secs(t);
+            if t % 11 == 0 {
+                db.enforce_retention(now, SimDuration::from_secs(40));
+            }
+            assert_eq!(cache.query(&db, &select, now), db.query(&select, now));
+        }
+        assert!(cache.stats().hits > 0);
+        assert_eq!(cache.stats().fallbacks, 0);
     }
 
     #[test]

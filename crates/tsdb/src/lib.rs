@@ -9,6 +9,11 @@
 //! * [`Point`] — a tagged, timestamped observation
 //!   (`sgx/epc{pod_name=...,nodename=...} value=N t`).
 //! * [`Database`] — tagged series storage with retention enforcement.
+//! * [`ShardedDatabase`] — the same storage hash-split into
+//!   independently locked shards for concurrent ingestion, bit-identical
+//!   on the read side.
+//! * [`PointBatch`] — the one-frame-per-node-per-scrape transport unit
+//!   probes ship to the shard writers.
 //! * [`query`] — a structured query AST and executor supporting the
 //!   nested sliding-window aggregation of the paper's Listing 1.
 //! * [`influxql`] — a parser for the InfluxQL subset the paper uses, so
@@ -58,13 +63,17 @@ pub mod influxql;
 pub mod query;
 pub mod wire;
 
+mod batch;
 mod cache;
 mod error;
 mod point;
+mod sharded;
 mod storage;
 
+pub use batch::{BatchRow, PointBatch};
 pub use cache::{CacheStats, WindowedCache};
 pub use error::TsdbError;
 pub use point::{Point, TagSet};
 pub use query::{Aggregate, Predicate, Row, Select, Source, TimeBound};
-pub use storage::Database;
+pub use sharded::ShardedDatabase;
+pub use storage::{Database, SeriesRef, SeriesStore};

@@ -1,0 +1,556 @@
+//! Sharded concurrent series storage.
+//!
+//! At production scale the single-`&mut` [`Database`] serialises every
+//! probe pass through one `BTreeMap`. A [`ShardedDatabase`] splits the
+//! series space into `N` shards keyed by the hash of
+//! `(measurement, tag set)` — the same routing a distributed InfluxDB
+//! applies per series key — with each shard a full [`Database`] behind
+//! its own `parking_lot::RwLock`. Writers for different shards never
+//! contend; lifetime counters are mirrored into atomics so stats reads
+//! take no lock at all.
+//!
+//! # Determinism
+//!
+//! Results are **bit-for-bit identical** to a single [`Database`] fed
+//! the same samples in the same per-series order:
+//!
+//! * A series lives on exactly one shard (its key hash is a pure
+//!   function of measurement + tags), so per-series sample order is
+//!   whatever the writers produce — identical to the sequential path
+//!   when each series has one writer.
+//! * Read paths ([`query`](ShardedDatabase::query), the
+//!   [`SeriesStore`] visitor, snapshots) merge the per-shard
+//!   `BTreeMap`s back into global tag-set order before folding, so the
+//!   executors see the exact sample stream the unsharded store feeds
+//!   them and every floating-point operation happens in the same
+//!   sequence.
+//! * Series ids stay unique across shards without coordination: shard
+//!   `i` of `n` draws ids from the arithmetic progression
+//!   `{i + n, i + 2n, ...}` (see [`Database::with_id_stride`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use des::SimTime;
+//! use tsdb::{Aggregate, Point, Select, ShardedDatabase};
+//!
+//! let db = ShardedDatabase::new(4);
+//! db.insert(Point::new("sgx/epc", SimTime::from_secs(1), 42.0).with_tag("nodename", "n1"));
+//!
+//! let q = Select::from_measurement("sgx/epc")
+//!     .aggregate(Aggregate::Sum)
+//!     .group_by(["nodename"]);
+//! let rows = db.query(&q, SimTime::from_secs(2));
+//! assert_eq!(rows[0].value, 42.0);
+//! assert_eq!(db.points_inserted(), 1);
+//! ```
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use des::{SimDuration, SimTime};
+
+use crate::batch::PointBatch;
+use crate::point::{Point, TagSet};
+use crate::query::{Row, Select, WindowSource};
+use crate::storage::{Database, SeriesRef, SeriesStore};
+
+/// A [`Database`] split into hash-routed shards, each behind its own
+/// reader-writer lock, with lock-free lifetime counters. See the module
+/// docs for the determinism contract.
+#[derive(Debug)]
+pub struct ShardedDatabase {
+    shards: Box<[RwLock<Database>]>,
+    /// Lifetime counters mirrored out of the shards on every mutation so
+    /// stats readers never take a lock. Updated with relaxed ordering:
+    /// they are monotone counters, not synchronisation edges.
+    points_inserted: AtomicU64,
+    points_evicted: AtomicU64,
+    out_of_order_inserts: AtomicU64,
+}
+
+impl ShardedDatabase {
+    /// Creates an empty database with `shards` shards (clamped to at
+    /// least 1). With one shard the layout — ids included — is exactly a
+    /// single [`Database`].
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        ShardedDatabase {
+            shards: (0..n)
+                .map(|i| RwLock::new(Database::with_id_stride(i as u64, n as u64)))
+                .collect(),
+            points_inserted: AtomicU64::new(0),
+            points_evicted: AtomicU64::new(0),
+            out_of_order_inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a series key routes to: a deterministic (fixed-key
+    /// SipHash) hash of the measurement and full tag set.
+    pub fn shard_of(&self, measurement: &str, tags: &TagSet) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        measurement.hash(&mut hasher);
+        for (k, v) in tags {
+            k.hash(&mut hasher);
+            v.hash(&mut hasher);
+        }
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts a point through its series' shard. Takes `&self`: writers
+    /// for different shards run concurrently.
+    pub fn insert(&self, point: Point) {
+        let shard = self.shard_of(point.measurement(), point.tags());
+        let (measurement, tags, time, value) = point.into_parts();
+        let in_order = self.shards[shard]
+            .write()
+            .insert_owned(measurement, tags, time, value);
+        self.points_inserted.fetch_add(1, Ordering::Relaxed);
+        if !in_order {
+            self.out_of_order_inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Inserts every row of `batch`, grouping rows by destination shard
+    /// so each shard's write lock is taken once per run of rows rather
+    /// than once per row. Rows of one series keep their batch order.
+    pub fn insert_batch(&self, batch: &PointBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        // Single shard: no routing decision to make, hand the whole frame
+        // to the one writer.
+        if self.shards.len() == 1 {
+            let mut guard = self.shards[0].write();
+            let before = guard.out_of_order_inserts();
+            guard.insert_batch(batch);
+            let out_of_order = guard.out_of_order_inserts() - before;
+            drop(guard);
+            self.points_inserted
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if out_of_order > 0 {
+                self.out_of_order_inserts
+                    .fetch_add(out_of_order, Ordering::Relaxed);
+            }
+            return;
+        }
+        // Route each row: the row tag value completes the series key.
+        let mut tags = batch.shared_tags().clone();
+        let mut routed: Vec<(usize, usize)> = Vec::with_capacity(batch.len());
+        for (index, row) in batch.rows().iter().enumerate() {
+            set_tag(&mut tags, batch.row_tag_key(), &row.tag_value);
+            routed.push((self.shard_of(batch.measurement(), &tags), index));
+        }
+        // Stable sort keeps same-shard rows in batch order.
+        routed.sort_by_key(|&(shard, _)| shard);
+
+        let mut inserted = 0u64;
+        let mut out_of_order = 0u64;
+        let mut cursor = 0;
+        while cursor < routed.len() {
+            let shard = routed[cursor].0;
+            let mut guard = self.shards[shard].write();
+            while cursor < routed.len() && routed[cursor].0 == shard {
+                let row = &batch.rows()[routed[cursor].1];
+                set_tag(&mut tags, batch.row_tag_key(), &row.tag_value);
+                if !guard.insert_at(batch.measurement(), &tags, batch.time(), row.value) {
+                    out_of_order += 1;
+                }
+                inserted += 1;
+                cursor += 1;
+            }
+        }
+        self.points_inserted.fetch_add(inserted, Ordering::Relaxed);
+        if out_of_order > 0 {
+            self.out_of_order_inserts
+                .fetch_add(out_of_order, Ordering::Relaxed);
+        }
+    }
+
+    /// Executes a select with `now` as the evaluation instant — same
+    /// engine and result order as [`Database::query`].
+    pub fn query(&self, select: &Select, now: SimTime) -> Vec<Row> {
+        select.execute_streaming(self, now)
+    }
+
+    /// Full-materialisation reference executor, merged across shards —
+    /// bit-for-bit identical to [`Database::query_full_scan`].
+    pub fn query_full_scan(&self, select: &Select, now: SimTime) -> Vec<Row> {
+        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let fetch = |measurement: &str| {
+            let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
+            for guard in &guards {
+                if let Some(series_map) = guard.series_of(measurement) {
+                    per_series.extend(series_map.iter().map(|(t, s)| (t, s.samples())));
+                }
+            }
+            // Tag sets are disjoint across shards, so this recovers the
+            // exact series order of the unsharded store.
+            per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            per_series
+                .into_iter()
+                .flat_map(|(tags, samples)| samples.iter().map(move |&(t, v)| (t, v, tags)))
+                .collect()
+        };
+        select.execute_full_scan(&fetch, now)
+    }
+
+    /// Drops samples older than `keep` relative to `now` on every shard;
+    /// returns the number of samples evicted.
+    pub fn enforce_retention(&self, now: SimTime, keep: SimDuration) -> usize {
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            evicted += shard.write().enforce_retention(now, keep);
+        }
+        self.points_evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Lifetime insert counter (lock-free read).
+    pub fn points_inserted(&self) -> u64 {
+        self.points_inserted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime eviction counter (lock-free read).
+    pub fn points_evicted(&self) -> u64 {
+        self.points_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of inserts that arrived out of time order
+    /// (lock-free read).
+    pub fn out_of_order_inserts(&self) -> u64 {
+        self.out_of_order_inserts.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct series currently stored, across all shards.
+    pub fn series_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().series_count()).sum()
+    }
+
+    /// Number of samples currently stored, across all shards.
+    pub fn point_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().point_count()).sum()
+    }
+
+    /// The measurement names currently stored, in sorted order.
+    pub fn measurement_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .measurement_names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Serialises every stored sample into the [`crate::wire`] snapshot
+    /// format. Points come out in global `(measurement, tag set)` order —
+    /// byte-identical to [`Database::snapshot`] over the same contents.
+    pub fn snapshot(&self) -> bytes::Bytes {
+        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let mut points = Vec::new();
+        for measurement in self.sorted_measurements(&guards) {
+            let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
+            for guard in &guards {
+                if let Some(series_map) = guard.series_of(&measurement) {
+                    per_series.extend(series_map.iter().map(|(t, s)| (t, s.samples())));
+                }
+            }
+            per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            for (tags, samples) in per_series {
+                for &(time, value) in samples {
+                    let mut point = Point::new(measurement.clone(), time, value);
+                    for (k, v) in tags {
+                        point = point.with_tag(k.clone(), v.clone());
+                    }
+                    points.push(point);
+                }
+            }
+        }
+        crate::wire::encode(&points)
+    }
+
+    /// Rebuilds a sharded database (with `shards` shards) from a snapshot
+    /// produced by [`snapshot`](Self::snapshot) or
+    /// [`Database::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TsdbError::Parse`] for corrupted snapshots.
+    pub fn restore(data: &[u8], shards: usize) -> Result<Self, crate::TsdbError> {
+        let db = ShardedDatabase::new(shards);
+        for point in crate::wire::decode(data)? {
+            db.insert(point);
+        }
+        Ok(db)
+    }
+
+    fn sorted_measurements(
+        &self,
+        guards: &[parking_lot::RwLockReadGuard<'_, Database>],
+    ) -> Vec<String> {
+        let mut names: Vec<String> = guards
+            .iter()
+            .flat_map(|g| g.measurement_names().into_iter().map(str::to_string))
+            .collect::<Vec<_>>();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+/// Overwrites `tags[key]` in place, reusing the existing `String`
+/// allocation when the key is already present — the per-row step of the
+/// batched hot path.
+fn set_tag(tags: &mut TagSet, key: &str, value: &str) {
+    if let Some(slot) = tags.get_mut(key) {
+        slot.clear();
+        slot.push_str(value);
+    } else {
+        tags.insert(key.to_string(), value.to_string());
+    }
+}
+
+impl WindowSource for ShardedDatabase {
+    fn stream_window(
+        &self,
+        measurement: &str,
+        lo: SimTime,
+        hi: Option<SimTime>,
+        emit: &mut dyn FnMut(SimTime, f64, &TagSet),
+    ) {
+        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
+        for guard in &guards {
+            if let Some(series_map) = guard.series_of(measurement) {
+                per_series.extend(series_map.iter().map(|(t, s)| (t, s.window(lo, hi))));
+            }
+        }
+        per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (tags, samples) in per_series {
+            for &(time, value) in samples {
+                emit(time, value, tags);
+            }
+        }
+    }
+}
+
+impl SeriesStore for ShardedDatabase {
+    fn query(&self, select: &Select, now: SimTime) -> Vec<Row> {
+        ShardedDatabase::query(self, select, now)
+    }
+
+    fn out_of_order_inserts(&self) -> u64 {
+        ShardedDatabase::out_of_order_inserts(self)
+    }
+
+    fn for_each_series(&self, measurement: &str, visit: &mut dyn FnMut(SeriesRef<'_>)) {
+        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let mut refs: Vec<SeriesRef<'_>> = Vec::new();
+        for guard in &guards {
+            if let Some(series_map) = guard.series_of(measurement) {
+                refs.extend(series_map.iter().map(|(tags, series)| SeriesRef {
+                    tags,
+                    id: series.id(),
+                    evicted: series.evicted_count(),
+                    samples: series.samples(),
+                }));
+            }
+        }
+        refs.sort_unstable_by(|a, b| a.tags.cmp(b.tags));
+        for series_ref in refs {
+            visit(series_ref);
+        }
+    }
+
+    fn contains_series(&self, measurement: &str, tags: &TagSet) -> bool {
+        self.shards[self.shard_of(measurement, tags)]
+            .read()
+            .series_of(measurement)
+            .is_some_and(|series_map| series_map.contains_key(tags))
+    }
+}
+
+impl Extend<Point> for ShardedDatabase {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        for point in iter {
+            self.insert(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregate, Predicate, TimeBound};
+
+    fn epc_point(t: u64, pod: &str, node: &str, v: f64) -> Point {
+        Point::new("sgx/epc", SimTime::from_secs(t), v)
+            .with_tag("pod_name", pod)
+            .with_tag("nodename", node)
+    }
+
+    fn listing1() -> Select {
+        let per_pod = Select::from_measurement("sgx/epc")
+            .aggregate(Aggregate::Max)
+            .filter(Predicate::ValueNe(0.0))
+            .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+                SimDuration::from_secs(25),
+            )))
+            .group_by(["pod_name", "nodename"]);
+        Select::from_subquery(per_pod)
+            .aggregate(Aggregate::Sum)
+            .group_by(["nodename"])
+    }
+
+    fn paired(shards: usize, points: &[Point]) -> (Database, ShardedDatabase) {
+        let mut single = Database::new();
+        let sharded = ShardedDatabase::new(shards);
+        for point in points {
+            single.insert(point.clone());
+            sharded.insert(point.clone());
+        }
+        (single, sharded)
+    }
+
+    fn workload() -> Vec<Point> {
+        let mut points = Vec::new();
+        for t in 0..60 {
+            for pod in 0..7u64 {
+                points.push(epc_point(
+                    t,
+                    &format!("p{pod}"),
+                    &format!("n{}", pod % 3),
+                    ((t * 31 + pod * 17) % 13) as f64,
+                ));
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn routing_is_total_and_deterministic() {
+        let db = ShardedDatabase::new(4);
+        let tags: TagSet = [("pod_name".to_string(), "p1".to_string())].into();
+        let shard = db.shard_of("sgx/epc", &tags);
+        assert!(shard < 4);
+        assert_eq!(shard, db.shard_of("sgx/epc", &tags));
+        assert_eq!(ShardedDatabase::new(1).shard_of("sgx/epc", &tags), 0);
+    }
+
+    #[test]
+    fn counters_match_single_database() {
+        for shards in [1, 3, 8] {
+            let (single, sharded) = paired(shards, &workload());
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.point_count(), single.point_count());
+            assert_eq!(sharded.series_count(), single.series_count());
+            assert_eq!(sharded.points_inserted(), single.points_inserted());
+            assert_eq!(sharded.measurement_names(), ["sgx/epc"]);
+        }
+    }
+
+    #[test]
+    fn queries_are_bit_identical_across_shard_counts() {
+        let query = listing1();
+        for shards in [1, 2, 4, 8] {
+            let (single, sharded) = paired(shards, &workload());
+            for t in [10u64, 30, 59, 80] {
+                let now = SimTime::from_secs(t);
+                assert_eq!(sharded.query(&query, now), single.query(&query, now));
+                assert_eq!(
+                    sharded.query_full_scan(&query, now),
+                    single.query_full_scan(&query, now)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_byte_identical_to_single_database() {
+        let (single, sharded) = paired(5, &workload());
+        assert_eq!(sharded.snapshot(), single.snapshot());
+        let restored = ShardedDatabase::restore(&sharded.snapshot(), 3).unwrap();
+        assert_eq!(restored.point_count(), single.point_count());
+        assert_eq!(restored.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn retention_matches_single_database() {
+        let (mut single, sharded) = paired(4, &workload());
+        let now = SimTime::from_secs(60);
+        let keep = SimDuration::from_secs(20);
+        assert_eq!(
+            sharded.enforce_retention(now, keep),
+            single.enforce_retention(now, keep)
+        );
+        assert_eq!(sharded.points_evicted(), single.points_evicted());
+        assert_eq!(sharded.point_count(), single.point_count());
+        assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_counted() {
+        let db = ShardedDatabase::new(4);
+        db.insert(epc_point(10, "a", "n1", 1.0));
+        db.insert(epc_point(5, "a", "n1", 2.0));
+        assert_eq!(db.out_of_order_inserts(), 1);
+    }
+
+    #[test]
+    fn insert_batch_routes_rows_to_their_series_shards() {
+        let mut batch = PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(3))
+            .with_shared_tag("nodename", "n1");
+        for pod in 0..20 {
+            batch.push(format!("p{pod}"), pod as f64);
+        }
+        let sharded = ShardedDatabase::new(4);
+        sharded.insert_batch(&batch);
+        let mut single = Database::new();
+        single.insert_batch(&batch);
+        assert_eq!(sharded.snapshot(), single.snapshot());
+        assert_eq!(sharded.points_inserted(), 20);
+    }
+
+    #[test]
+    fn concurrent_writers_produce_the_sequential_state() {
+        let points = workload();
+        let (single, _) = paired(1, &points);
+        let sharded = ShardedDatabase::new(4);
+        // One writer per node: each series receives its samples in the
+        // same order as the sequential insert loop.
+        crossbeam::thread::scope(|scope| {
+            for node in 0..3 {
+                let node_name = format!("n{node}");
+                let points = &points;
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for point in points {
+                        if point.tag("nodename") == Some(node_name.as_str()) {
+                            sharded.insert(point.clone());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.snapshot(), single.snapshot());
+        let query = listing1();
+        let now = SimTime::from_secs(60);
+        assert_eq!(sharded.query(&query, now), single.query(&query, now));
+    }
+}

@@ -7,6 +7,51 @@ use des::{SimDuration, SimTime};
 use crate::point::{Point, TagSet};
 use crate::query::{Row, Select, WindowSource};
 
+/// A borrowed view of one stored series, handed to [`SeriesStore`]
+/// visitors. Exposes exactly the state the incremental
+/// [`WindowedCache`](crate::WindowedCache) keys its ingestion cursors on,
+/// without leaking the storage representation.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesRef<'a> {
+    /// The series' full tag set.
+    pub tags: &'a TagSet,
+    /// Creation id (unique database-wide, including across shards).
+    pub id: u64,
+    /// Samples ever evicted from the front of the series.
+    pub evicted: u64,
+    /// The stored samples, in time order (stable for equal timestamps).
+    pub samples: &'a [(SimTime, f64)],
+}
+
+impl SeriesRef<'_> {
+    /// Absolute position one past the last stored sample:
+    /// `evicted + samples.len()`.
+    pub fn absolute_len(&self) -> u64 {
+        self.evicted + self.samples.len() as u64
+    }
+}
+
+/// The read surface shared by [`Database`] and
+/// [`ShardedDatabase`](crate::ShardedDatabase): query execution plus the
+/// ordered series iteration the [`WindowedCache`](crate::WindowedCache)
+/// ingests from. Both implementations feed samples to the executors in
+/// the same total order (series in tag-set order, samples in time order),
+/// so query results are bit-for-bit identical between them.
+pub trait SeriesStore {
+    /// Executes `select` with `now` as the evaluation instant.
+    fn query(&self, select: &Select, now: SimTime) -> Vec<Row>;
+
+    /// Lifetime count of inserts that arrived out of time order. The
+    /// windowed cache watches this stamp and rebuilds when it moves.
+    fn out_of_order_inserts(&self) -> u64;
+
+    /// Visits every series of `measurement` in tag-set order.
+    fn for_each_series(&self, measurement: &str, visit: &mut dyn FnMut(SeriesRef<'_>));
+
+    /// `true` while the store holds at least one sample for the series.
+    fn contains_series(&self, measurement: &str, tags: &TagSet) -> bool;
+}
+
 /// One series: a measurement + tag-set pair with its time-ordered samples.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Series {
@@ -76,11 +121,6 @@ impl Series {
     pub(crate) fn evicted_count(&self) -> u64 {
         self.evicted
     }
-
-    /// Absolute position one past the last stored sample: `evicted + len`.
-    pub(crate) fn absolute_len(&self) -> u64 {
-        self.evicted + self.samples.len() as u64
-    }
 }
 
 /// The in-memory time-series database.
@@ -104,13 +144,17 @@ impl Series {
 /// let rows = db.query(&q, SimTime::from_secs(2));
 /// assert_eq!(rows[0].value, 42.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Database {
     measurements: BTreeMap<String, BTreeMap<TagSet, Series>>,
     points_inserted: u64,
     points_evicted: u64,
-    /// Monotonic id handed to each newly created series.
+    /// Id handed to each newly created series, advanced by
+    /// `series_seq_step` — 1 for a standalone database; the shard count
+    /// for a shard of a [`ShardedDatabase`](crate::ShardedDatabase), so
+    /// ids stay unique across shards without coordination.
     series_seq: u64,
+    series_seq_step: u64,
     /// Bumped whenever an insert lands out of time order; the windowed
     /// cache watches this stamp and rebuilds when it moves.
     out_of_order_inserts: u64,
@@ -119,23 +163,61 @@ pub struct Database {
     eviction_cutoff: SimTime,
 }
 
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            measurements: BTreeMap::new(),
+            points_inserted: 0,
+            points_evicted: 0,
+            series_seq: 0,
+            series_seq_step: 1,
+            out_of_order_inserts: 0,
+            eviction_cutoff: SimTime::ZERO,
+        }
+    }
+}
+
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
         Database::default()
     }
 
+    /// A database whose series ids start at `start` and advance by `step`
+    /// — how shards of a [`ShardedDatabase`](crate::ShardedDatabase) keep
+    /// ids disjoint (shard `i` of `n` uses `start = i`, `step = n`).
+    pub(crate) fn with_id_stride(start: u64, step: u64) -> Self {
+        Database {
+            series_seq: start,
+            series_seq_step: step.max(1),
+            ..Database::default()
+        }
+    }
+
     /// Inserts a point.
     pub fn insert(&mut self, point: Point) {
         let (measurement, tags, time, value) = point.into_parts();
+        self.insert_owned(measurement, tags, time, value);
+    }
+
+    /// Insertion taking ownership of pre-split parts; returns `true` when
+    /// the sample appended in time order.
+    pub(crate) fn insert_owned(
+        &mut self,
+        measurement: String,
+        tags: TagSet,
+        time: SimTime,
+        value: f64,
+    ) -> bool {
         let series_seq = &mut self.series_seq;
+        let step = self.series_seq_step;
         let in_order = self
             .measurements
             .entry(measurement)
             .or_default()
             .entry(tags)
             .or_insert_with(|| {
-                *series_seq += 1;
+                *series_seq += step;
                 Series::with_id(*series_seq)
             })
             .insert(time, value);
@@ -143,6 +225,73 @@ impl Database {
             self.out_of_order_inserts += 1;
         }
         self.points_inserted += 1;
+        in_order
+    }
+
+    /// Inserts a sample by borrowed identity, allocating nothing when the
+    /// series already exists — the batched-ingestion hot path. Only a
+    /// *new* series clones `measurement` and `tags` into owned keys.
+    /// Returns `true` when the sample appended in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurement` is empty or `value` is not finite (the
+    /// same contract [`Point::new`] enforces).
+    pub fn insert_at(
+        &mut self,
+        measurement: &str,
+        tags: &TagSet,
+        time: SimTime,
+        value: f64,
+    ) -> bool {
+        assert!(
+            !measurement.is_empty(),
+            "measurement name must not be empty"
+        );
+        assert!(value.is_finite(), "point value must be finite, got {value}");
+        // Lookups instead of `entry`: `entry` would force cloning the
+        // borrowed keys on every call, existing series or not. The miss
+        // arms re-walk the tree, but only on first contact with a
+        // measurement or series; steady state is two `get_mut` hits.
+        let series_map = if self.measurements.contains_key(measurement) {
+            self.measurements
+                .get_mut(measurement)
+                .expect("checked above")
+        } else {
+            self.measurements
+                .entry(measurement.to_string())
+                .or_default()
+        };
+        let in_order = if let Some(series) = series_map.get_mut(tags) {
+            series.insert(time, value)
+        } else {
+            self.series_seq += self.series_seq_step;
+            series_map
+                .entry(tags.clone())
+                .or_insert(Series::with_id(self.series_seq))
+                .insert(time, value)
+        };
+        if !in_order {
+            self.out_of_order_inserts += 1;
+        }
+        self.points_inserted += 1;
+        in_order
+    }
+
+    /// Inserts every row of a [`PointBatch`](crate::PointBatch), sharing
+    /// one scratch tag set across rows so steady-state ingestion performs
+    /// no per-point key allocations.
+    pub fn insert_batch(&mut self, batch: &crate::PointBatch) {
+        let mut tags = batch.shared_tags().clone();
+        for row in batch.rows() {
+            if let Some(slot) = tags.get_mut(batch.row_tag_key()) {
+                slot.clear();
+                slot.push_str(&row.tag_value);
+            } else {
+                tags.insert(batch.row_tag_key().to_string(), row.tag_value.clone());
+            }
+            self.insert_at(batch.measurement(), &tags, batch.time(), row.value);
+        }
     }
 
     /// Executes a (possibly nested) select with `now` as the evaluation
@@ -268,6 +417,35 @@ impl Database {
         let mut db = Database::new();
         db.extend(crate::wire::decode(data)?);
         Ok(db)
+    }
+}
+
+impl SeriesStore for Database {
+    fn query(&self, select: &Select, now: SimTime) -> Vec<Row> {
+        Database::query(self, select, now)
+    }
+
+    fn out_of_order_inserts(&self) -> u64 {
+        Database::out_of_order_inserts(self)
+    }
+
+    fn for_each_series(&self, measurement: &str, visit: &mut dyn FnMut(SeriesRef<'_>)) {
+        if let Some(series_map) = self.measurements.get(measurement) {
+            for (tags, series) in series_map {
+                visit(SeriesRef {
+                    tags,
+                    id: series.id(),
+                    evicted: series.evicted_count(),
+                    samples: series.samples(),
+                });
+            }
+        }
+    }
+
+    fn contains_series(&self, measurement: &str, tags: &TagSet) -> bool {
+        self.measurements
+            .get(measurement)
+            .is_some_and(|series_map| series_map.contains_key(tags))
     }
 }
 

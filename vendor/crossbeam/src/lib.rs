@@ -1,10 +1,18 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! The only facility this workspace needs is scoped threads, which the
-//! standard library has provided since Rust 1.63 with the same borrowing
-//! guarantees crossbeam pioneered. [`thread`] re-exports the std
-//! implementation so call sites read `crossbeam::thread::scope(...)` and
-//! swap transparently for the real crate when a registry is available.
+//! Two facilities of the real crate are used by this workspace, both
+//! re-implemented on std primitives so call sites swap transparently for
+//! the registry crate when one is reachable:
+//!
+//! * [`thread`] — scoped threads, which the standard library has provided
+//!   since Rust 1.63 with the same borrowing guarantees crossbeam
+//!   pioneered.
+//! * [`channel`] — `bounded` / `unbounded` MPSC channels with crossbeam's
+//!   poison-free `Result` API, backed by `std::sync::mpsc`. The one
+//!   semantic narrowing: `Receiver` is not cloneable (std channels are
+//!   multi-producer single-consumer), so fan-in topologies use one
+//!   receiver per consumer — exactly how the probe → tsdb ingestion
+//!   pipeline is shaped.
 
 #![forbid(unsafe_code)]
 
@@ -13,8 +21,157 @@ pub mod thread {
     pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
 
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Creates a channel of bounded capacity: sends block once `cap`
+    /// messages are in flight. `cap == 0` is a rendezvous channel (every
+    /// send blocks until a receiver takes the message), matching
+    /// crossbeam's zero-capacity semantics.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel of unbounded capacity: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// The sending half of a channel. Cloneable: every producer thread
+    /// holds its own `Sender`; the channel disconnects when all senders
+    /// are dropped.
+    pub struct Sender<T>(Flavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `message`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] (handing the message back) when every
+        /// receiver has been dropped.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(tx) => tx.send(message).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(tx) => tx.send(message).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every
+        /// sender has been dropped — the loop-exit signal for consumers.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a pending message without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when no message is waiting;
+        /// [`TryRecvError::Disconnected`] when every sender is gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Iterates over messages, blocking between them, until the
+        /// channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// The channel is disconnected; the unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// The channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Why a [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting right now; senders still connected.
+        Empty,
+        /// Every sender has been dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+
     #[test]
     fn scoped_threads_borrow_the_stack() {
         let data = [1u64, 2, 3, 4];
@@ -26,5 +183,75 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         });
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn unbounded_delivers_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_at_capacity_until_drained() {
+        let (tx, rx) = bounded(2);
+        crate::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut seen = 0;
+            while let Ok(v) = rx.recv() {
+                assert_eq!(v, seen);
+                seen += 1;
+            }
+            assert_eq!(seen, 100);
+            producer.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn cloned_senders_fan_in() {
+        let (tx, rx) = unbounded();
+        let total: u64 = crate::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        tx.send(worker * 1000 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx); // channel disconnects once all workers finish
+            rx.iter().count() as u64
+        });
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let (tx, rx) = bounded::<u8>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_rendezvous() {
+        let (tx, rx) = bounded(0);
+        crate::thread::scope(|s| {
+            s.spawn(move || tx.send(42u8).unwrap());
+            assert_eq!(rx.recv(), Ok(42));
+        });
     }
 }
