@@ -3,7 +3,9 @@
 use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams};
 use cluster::topology::ClusterSpec;
 use sgx_sim::units::ByteSize;
-use simulation::{replay, sweep, MaliciousConfig, ReplayConfig, ReplayResult, SweepProgress};
+use simulation::{
+    replay, sweep, MaliciousConfig, RebalanceConfig, ReplayConfig, ReplayResult, SweepProgress,
+};
 
 /// Which trace the experiment replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +42,7 @@ pub struct Experiment {
     epc_total: Option<ByteSize>,
     enforce_limits: bool,
     malicious: Option<MaliciousConfig>,
+    rebalance: Option<RebalanceConfig>,
 }
 
 impl Experiment {
@@ -54,6 +57,7 @@ impl Experiment {
             epc_total: None,
             enforce_limits: true,
             malicious: None,
+            rebalance: None,
         }
     }
 
@@ -113,6 +117,12 @@ impl Experiment {
         self
     }
 
+    /// Enables periodic EPC rebalancing via live migration (§VIII).
+    pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
+        self
+    }
+
     /// The prepared (sliced/sampled/rebased) trace this experiment replays.
     pub fn prepared_trace(&self) -> Trace {
         match self.preset {
@@ -145,6 +155,9 @@ impl Experiment {
         }
         if let Some(mal) = self.malicious {
             config = config.with_malicious(mal);
+        }
+        if let Some(rebalance) = self.rebalance {
+            config = config.with_rebalance(rebalance);
         }
         config
     }
@@ -241,6 +254,19 @@ mod tests {
             assert_eq!(result.runs(), solo.runs());
             assert_eq!(result.end_time(), solo.end_time());
         }
+    }
+
+    #[test]
+    fn rebalance_builder_reaches_the_replay() {
+        let exp = Experiment::quick(8)
+            .sgx_ratio(1.0)
+            .rebalance(RebalanceConfig::every(des::SimDuration::from_secs(60), 0.1));
+        assert_eq!(exp.replay_config().rebalance.unwrap().threshold, 0.1);
+        let result = exp.run();
+        assert!(result.migration_count() > 0);
+        assert!(result.migration_downtime() > des::SimDuration::ZERO);
+        // Off by default.
+        assert!(Experiment::quick(8).replay_config().rebalance.is_none());
     }
 
     #[test]

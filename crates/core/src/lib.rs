@@ -82,7 +82,10 @@ pub mod prelude {
     pub use sgx_sim::migration::MigrationKey;
     pub use sgx_sim::units::{ByteSize, EpcPages};
     pub use sgx_sim::SgxVersion;
-    pub use simulation::{replay, MaliciousConfig, NodeFailure, ReplayConfig, ReplayResult};
+    pub use simulation::{
+        replay, MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig,
+        ReplayResult,
+    };
     pub use stress::Stressor;
 
     pub use crate::{Experiment, TracePreset};

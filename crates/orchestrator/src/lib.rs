@@ -54,4 +54,4 @@ mod server;
 pub use policy::PlacementPolicy;
 pub use queue::{PendingPod, PendingQueue};
 pub use scheduler::{SchedulerKind, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};
-pub use server::{BindOutcome, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord};
+pub use server::{BindOutcome, Migration, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord};

@@ -52,17 +52,28 @@ impl PendingQueue {
         PendingQueue::default()
     }
 
-    /// Appends a pod (FCFS position = submission order).
+    /// Enqueues a pod at its FCFS position: ordered by `submitted_at`,
+    /// stable for ties (an equal-time pod goes behind the ones already
+    /// queued). Fresh submissions arrive in time order and append in
+    /// O(1); a pod *re*-queued after a node crash carries its original
+    /// submission time and is inserted back where it belongs, so it does
+    /// not lose its place to everything submitted while it ran.
     pub fn enqueue(&mut self, uid: PodUid, spec: PodSpec, submitted_at: SimTime) {
         debug_assert!(
             self.pods.iter().all(|p| p.uid != uid),
             "pod {uid} enqueued twice"
         );
-        self.pods.push_back(PendingPod {
-            uid,
-            spec,
-            submitted_at,
-        });
+        let at = self
+            .pods
+            .partition_point(|p| p.submitted_at <= submitted_at);
+        self.pods.insert(
+            at,
+            PendingPod {
+                uid,
+                spec,
+                submitted_at,
+            },
+        );
     }
 
     /// Removes a pod (after it was bound or rejected). Returns it, or
@@ -164,6 +175,33 @@ mod tests {
             q.oldest_wait(SimTime::from_secs(15)),
             Some(des::SimDuration::from_secs(10))
         );
+    }
+
+    #[test]
+    fn requeue_restores_fcfs_position() {
+        let mut q = PendingQueue::new();
+        q.enqueue(PodUid::new(1), spec(1), SimTime::from_secs(10));
+        q.enqueue(PodUid::new(2), spec(2), SimTime::from_secs(20));
+        // Pod 0 was submitted first, ran, and crashed: re-queued with its
+        // original submission time it must regain the front of the queue.
+        q.enqueue(PodUid::new(0), spec(3), SimTime::from_secs(5));
+        let order: Vec<u64> = q.iter().map(|p| p.uid.as_u64()).collect();
+        assert_eq!(order, [0, 1, 2]);
+        // `oldest_wait` sees the true oldest pod again.
+        assert_eq!(
+            q.oldest_wait(SimTime::from_secs(30)),
+            Some(des::SimDuration::from_secs(25))
+        );
+    }
+
+    #[test]
+    fn equal_submission_times_keep_insertion_order() {
+        let mut q = PendingQueue::new();
+        for i in 0..4 {
+            q.enqueue(PodUid::new(i), spec(1), SimTime::from_secs(7));
+        }
+        let order: Vec<u64> = q.iter().map(|p| p.uid.as_u64()).collect();
+        assert_eq!(order, [0, 1, 2, 3]);
     }
 
     #[test]

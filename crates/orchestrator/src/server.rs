@@ -161,6 +161,25 @@ pub struct BindOutcome {
     pub slowdown_at_start: f64,
 }
 
+/// One completed live migration, as reported by
+/// [`Orchestrator::drain_node`] and [`Orchestrator::rebalance_epc`].
+///
+/// The `delay` is what [`Node::migrate_in`] charged for the attested
+/// handshake plus shipping the checkpoint: the pod's downtime. Replay
+/// layers shift the pod's in-flight finish event by it so migrations show
+/// up in turnaround times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrated pod.
+    pub uid: PodUid,
+    /// Where it ran before.
+    pub from: NodeName,
+    /// Where it runs now.
+    pub to: NodeName,
+    /// Transfer latency (the pod's downtime).
+    pub delay: SimDuration,
+}
+
 /// The orchestrator: cluster, time-series database, pending queue,
 /// schedulers and pod records. See the crate docs for an example.
 #[derive(Debug)]
@@ -662,7 +681,7 @@ impl Orchestrator {
         &mut self,
         name: &NodeName,
         now: SimTime,
-    ) -> Result<Vec<(PodUid, NodeName)>, ClusterError> {
+    ) -> Result<Vec<Migration>, ClusterError> {
         {
             let node = self
                 .cluster
@@ -691,8 +710,13 @@ impl Orchestrator {
             else {
                 continue; // no room anywhere right now
             };
-            if self.migrate_pod(uid, &target, now).is_ok() {
-                moves.push((uid, target));
+            if let Ok(delay) = self.migrate_pod(uid, &target, now) {
+                moves.push(Migration {
+                    uid,
+                    from: name.clone(),
+                    to: target,
+                    delay,
+                });
             }
         }
         Ok(moves)
@@ -713,12 +737,35 @@ impl Orchestrator {
         Ok(())
     }
 
+    /// Current EPC-load imbalance across the SGX nodes: the spread
+    /// between the most- and least-loaded node's requested-EPC fraction
+    /// of capacity, in `[0, 1]`. Zero with fewer than two SGX nodes.
+    /// This is the quantity [`rebalance_epc`](Self::rebalance_epc) drives
+    /// below its threshold.
+    pub fn epc_imbalance(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut nodes = 0usize;
+        for node in self.cluster.sgx_nodes() {
+            let cap = node.allocatable_epc().count().max(1);
+            let load = node.epc_requested().count() as f64 / cap as f64;
+            min = min.min(load);
+            max = max.max(load);
+            nodes += 1;
+        }
+        if nodes < 2 {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
     /// One EPC rebalancing pass — the paper's closing future-work idea:
     /// "a globally optimized EPC utilisation through the migration of
     /// enclaves". Moves SGX pods from the most- to the least-loaded SGX
     /// node while the requested-EPC imbalance exceeds `threshold`
     /// (a fraction of capacity). Returns the migrations performed.
-    pub fn rebalance_epc(&mut self, now: SimTime, threshold: f64) -> Vec<(PodUid, NodeName)> {
+    pub fn rebalance_epc(&mut self, now: SimTime, threshold: f64) -> Vec<Migration> {
         let mut moves = Vec::new();
         loop {
             // Snapshot per-SGX-node load fractions.
@@ -765,10 +812,15 @@ impl Orchestrator {
             let Some(uid) = candidate else {
                 return moves;
             };
-            if self.migrate_pod(uid, &coldest_name, now).is_err() {
+            let Ok(delay) = self.migrate_pod(uid, &coldest_name, now) else {
                 return moves;
-            }
-            moves.push((uid, coldest_name));
+            };
+            moves.push(Migration {
+                uid,
+                from: hottest_name,
+                to: coldest_name,
+                delay,
+            });
         }
     }
 }
@@ -1073,13 +1125,17 @@ mod tests {
         assert_eq!(loaded(&orch, "sgx-1"), EpcPages::from_mib_ceil(20) * 4);
         assert_eq!(loaded(&orch, "sgx-2"), EpcPages::ZERO);
 
+        let before = orch.epc_imbalance();
         let moves = orch.rebalance_epc(SimTime::from_secs(10), 0.1);
         assert!(!moves.is_empty());
+        assert!(moves.iter().all(|m| m.delay > SimDuration::ZERO));
         // Both nodes now carry EPC load, within the threshold band.
         let a = loaded(&orch, "sgx-1").count() as f64;
         let b = loaded(&orch, "sgx-2").count() as f64;
         let cap = 23_936.0;
         assert!((a / cap - b / cap).abs() <= 0.1 + 20.0 * 256.0 / cap);
+        assert_eq!(orch.epc_imbalance(), (a / cap - b / cap).abs());
+        assert!(orch.epc_imbalance() < before);
         // All pods still running.
         for uid in uids {
             assert!(matches!(
@@ -1114,7 +1170,9 @@ mod tests {
 
         let moves = orch.drain_node(&victim, SimTime::from_secs(10)).unwrap();
         assert_eq!(moves.len(), 3);
-        assert!(moves.iter().all(|(_, n)| n.as_str() == "sgx-2"));
+        assert!(moves.iter().all(|m| m.to.as_str() == "sgx-2"));
+        assert!(moves.iter().all(|m| m.from == victim));
+        assert!(moves.iter().all(|m| m.delay > SimDuration::ZERO));
         assert!(orch.cluster().node(&victim).unwrap().pods().is_empty());
         assert!(orch.cluster().node(&victim).unwrap().is_cordoned());
 
@@ -1183,6 +1241,34 @@ mod tests {
         assert_eq!(outcomes[0].uid, a);
         let waiting = orch.record(a).unwrap().waiting_time().unwrap();
         assert!(waiting >= SimDuration::from_secs(40));
+        let _ = b;
+    }
+
+    #[test]
+    fn crashed_pods_regain_their_fcfs_position() {
+        let mut orch = orchestrator();
+        // `a` (submitted first) fills one node; `b` fills the other.
+        let a = orch.submit(sgx_spec("a", 60), SimTime::ZERO);
+        let b = orch.submit(sgx_spec("b", 60), SimTime::from_secs(1));
+        orch.scheduler_pass(SimTime::from_secs(5));
+        // `c` arrives later and waits — both nodes are full.
+        let c = orch.submit(sgx_spec("c", 60), SimTime::from_secs(10));
+        assert_eq!(orch.queue().len(), 1);
+
+        // `a`'s node crashes: `a` is re-queued with its original
+        // submission time and must sit *ahead* of `c`, not behind it.
+        let node_a = match &orch.record(a).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("a not running: {other:?}"),
+        };
+        orch.fail_node(&node_a, SimTime::from_secs(20)).unwrap();
+        let order: Vec<PodUid> = orch.queue().iter().map(|p| p.uid).collect();
+        assert_eq!(order, vec![a, c]);
+        // `oldest_wait`'s front-is-oldest assumption holds again.
+        assert_eq!(
+            orch.queue().oldest_wait(SimTime::from_secs(20)),
+            Some(SimDuration::from_secs(20))
+        );
         let _ = b;
     }
 

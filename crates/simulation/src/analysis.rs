@@ -78,7 +78,14 @@ pub fn waiting_by_request(
         let Some(wait) = run.record.waiting_time() else {
             continue;
         };
-        let request = run.job.expect("honest runs have jobs").mem_request;
+        let job = run.job.expect("honest runs have jobs");
+        // The scheduler reserves the page-rounded EPC request for SGX
+        // jobs, so that — not the raw memory figure — is what the bucket
+        // edges must reflect.
+        let request = match kind {
+            JobKind::Sgx => job.epc_request().to_bytes(),
+            JobKind::Standard => job.mem_request,
+        };
         let index = request.as_bytes() / bucket.as_bytes();
         buckets.entry(index).or_default().push(wait.as_secs_f64());
     }
@@ -101,6 +108,52 @@ pub fn mean_waiting_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
         .map(|d| d.as_secs_f64())
         .collect();
     stats.mean()
+}
+
+/// Mean turnaround time in seconds across honest jobs of `kind`.
+pub fn mean_turnaround_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+    let stats: RunningStats = honest_of_kind(result, kind)
+        .filter_map(|run| run.record.turnaround())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    stats.mean()
+}
+
+/// Mean per-node EPC-load imbalance over the replay: the average of the
+/// spread between the most- and least-loaded SGX node's requested-EPC
+/// fraction, sampled at every scheduling pass (and every rebalance or
+/// drain). The headline number of the rebalance-on/off experiments;
+/// `0.0` for a replay that recorded no samples.
+pub fn mean_epc_imbalance(result: &ReplayResult) -> f64 {
+    let stats: RunningStats = result
+        .epc_imbalance_series()
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
+    if stats.count() == 0 {
+        0.0
+    } else {
+        stats.mean()
+    }
+}
+
+/// Peak per-node EPC-load imbalance over the replay.
+pub fn peak_epc_imbalance(result: &ReplayResult) -> f64 {
+    result.epc_imbalance_series().peak().unwrap_or(0.0)
+}
+
+/// Number of live migrations the replay performed (rebalancing passes
+/// plus drains).
+pub fn migration_count(result: &ReplayResult) -> u64 {
+    result.migration_count()
+}
+
+/// Total migration downtime accumulated by the replay's pods, in
+/// seconds. Every second of it also shows up in the migrated pods'
+/// turnaround times.
+pub fn total_migration_downtime_secs(result: &ReplayResult) -> f64 {
+    result.migration_downtime().as_secs_f64()
 }
 
 #[cfg(test)]
@@ -152,6 +205,50 @@ mod tests {
             assert!(b.mean_waiting_secs >= 0.0);
             assert!(b.ci95_secs >= 0.0);
         }
+    }
+
+    #[test]
+    fn sgx_buckets_use_page_rounded_epc_requests() {
+        let r = result();
+        // A page-sized bucket makes the raw-vs-rounded disagreement
+        // visible: the raw memory request lands mid-page, the reserved
+        // EPC request is page-aligned.
+        let bucket = ByteSize::from_kib(4);
+        let buckets = waiting_by_request(&r, JobKind::Sgx, bucket);
+        let mut expected: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut any_moved = false;
+        for run in r.honest_runs() {
+            let Some(job) = run.job else { continue };
+            if job.kind != JobKind::Sgx || run.record.waiting_time().is_none() {
+                continue;
+            }
+            let rounded = job.epc_request().to_bytes().as_bytes();
+            *expected.entry(rounded / bucket.as_bytes()).or_default() += 1;
+            any_moved |=
+                rounded / bucket.as_bytes() != job.mem_request.as_bytes() / bucket.as_bytes();
+        }
+        assert!(any_moved, "workload should have off-page raw requests");
+        assert_eq!(buckets.len(), expected.len());
+        for b in &buckets {
+            let index = b.bucket_start.as_bytes() / bucket.as_bytes();
+            assert_eq!(
+                Some(&b.jobs),
+                expected.get(&index),
+                "bucket {index} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn migration_helpers_are_zero_without_rebalancing() {
+        let r = result();
+        assert_eq!(migration_count(&r), 0);
+        assert_eq!(total_migration_downtime_secs(&r), 0.0);
+        // The imbalance series is recorded even with rebalancing off (it
+        // is the baseline the rebalance-on experiments compare against).
+        assert!(!r.epc_imbalance_series().is_empty());
+        assert!(mean_epc_imbalance(&r) >= 0.0);
+        assert!(peak_epc_imbalance(&r) >= mean_epc_imbalance(&r));
     }
 
     #[test]

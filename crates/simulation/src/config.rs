@@ -39,6 +39,61 @@ impl MaliciousConfig {
     }
 }
 
+/// Periodic EPC rebalancing (§VIII): every `period` the replay runs one
+/// [`Orchestrator::rebalance_epc`](orchestrator::Orchestrator::rebalance_epc)
+/// pass, live-migrating SGX pods from the most- to the least-loaded node
+/// while the requested-EPC imbalance exceeds `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceConfig {
+    /// How often the rebalancer wakes up.
+    pub period: SimDuration,
+    /// Imbalance (spread of per-node requested-EPC fractions, in `[0, 1]`)
+    /// above which pods are migrated.
+    pub threshold: f64,
+}
+
+impl RebalanceConfig {
+    /// A rebalancer firing every `period` with the given imbalance
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` lies in `(0, 1]` and `period` is
+    /// non-zero.
+    pub fn every(period: SimDuration, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "rebalance threshold must be in (0, 1], got {threshold}"
+        );
+        assert!(
+            period > SimDuration::ZERO,
+            "rebalance period must be non-zero"
+        );
+        RebalanceConfig { period, threshold }
+    }
+
+    /// The defaults used by the rebalancing experiments: a pass every
+    /// 60 s at a 0.2 imbalance threshold.
+    pub fn paper_defaults() -> Self {
+        RebalanceConfig::every(SimDuration::from_secs(60), 0.2)
+    }
+}
+
+/// An injected maintenance window: at `drain_at_secs` the node is
+/// cordoned and its pods are live-migrated away (those with no feasible
+/// target stay put on the cordoned node); `down_for` later the node is
+/// un-cordoned and accepts pods again. The graceful sibling of
+/// [`NodeFailure`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDrain {
+    /// Name of the node to drain.
+    pub node: String,
+    /// When the drain starts, seconds into the replay.
+    pub drain_at_secs: u64,
+    /// How long the node stays cordoned.
+    pub down_for: SimDuration,
+}
+
 /// A node-crash injection: the node dies at `fail_at_secs` (losing every
 /// pod, which re-queues) and registers back `down_for` later.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +124,11 @@ pub struct ReplayConfig {
     pub cost_model: Option<CostModel>,
     /// Injected node crashes (failure testing).
     pub failures: Vec<NodeFailure>,
+    /// Periodic EPC rebalancing via live migration (§VIII); `None`
+    /// disables it (the paper's baseline behaviour).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Injected maintenance windows (drain → migrate away → uncordon).
+    pub drains: Vec<NodeDrain>,
     /// Hard cap on simulated time; replays that exceed it are marked
     /// timed out (guards against pathological configurations).
     pub max_sim_time: SimDuration,
@@ -85,6 +145,8 @@ impl ReplayConfig {
             malicious: None,
             cost_model: None,
             failures: Vec::new(),
+            rebalance: None,
+            drains: Vec::new(),
             max_sim_time: SimDuration::from_hours(48),
         }
     }
@@ -92,6 +154,18 @@ impl ReplayConfig {
     /// Injects a node crash.
     pub fn with_failure(mut self, failure: NodeFailure) -> Self {
         self.failures.push(failure);
+        self
+    }
+
+    /// Enables periodic EPC rebalancing via live migration.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = Some(rebalance);
+        self
+    }
+
+    /// Injects a maintenance window (drain + uncordon).
+    pub fn with_drain(mut self, drain: NodeDrain) -> Self {
+        self.drains.push(drain);
         self
     }
 
@@ -149,5 +223,25 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn malicious_fraction_validated() {
         let _ = MaliciousConfig::squatting(1.5);
+    }
+
+    #[test]
+    fn rebalance_and_drain_builders_compose() {
+        let config = ReplayConfig::paper(3)
+            .with_rebalance(RebalanceConfig::every(SimDuration::from_secs(30), 0.15))
+            .with_drain(NodeDrain {
+                node: "sgx-1".to_string(),
+                drain_at_secs: 600,
+                down_for: SimDuration::from_secs(300),
+            });
+        assert_eq!(config.rebalance.unwrap().threshold, 0.15);
+        assert_eq!(config.drains.len(), 1);
+        assert_eq!(config.drains[0].node, "sgx-1");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rebalance_threshold_validated() {
+        let _ = RebalanceConfig::every(SimDuration::from_secs(60), 0.0);
     }
 }

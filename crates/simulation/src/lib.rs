@@ -31,6 +31,6 @@ pub mod sweep;
 mod config;
 mod replay;
 
-pub use config::{MaliciousConfig, NodeFailure, ReplayConfig};
+pub use config::{MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig};
 pub use replay::{replay, JobRun, ReplayResult};
 pub use sweep::{SweepJob, SweepProgress};

@@ -5,8 +5,9 @@ use std::collections::BTreeMap;
 use borg_trace::{Workload, WorkloadJob};
 use cluster::api::{PodSpec, PodUid, ResourceRequirements, Resources};
 use des::stats::TimeSeries;
-use des::{EventQueue, SimTime};
-use orchestrator::{Orchestrator, PodOutcome, PodRecord};
+use des::{EventQueue, SimDuration, SimTime};
+use orchestrator::events::ClusterEvent;
+use orchestrator::{Migration, Orchestrator, PodOutcome, PodRecord};
 use sgx_sim::units::ByteSize;
 use stress::Stressor;
 
@@ -31,6 +32,16 @@ enum Event {
     NodeFail(usize),
     /// The crashed node registers back.
     NodeRecover(usize),
+    /// Periodic EPC rebalancing pass (§VIII): live-migrates SGX pods from
+    /// the most- to the least-loaded node while the imbalance exceeds the
+    /// configured threshold. Migrated pods' in-flight finishes are
+    /// invalidated and rescheduled shifted by the transfer delay.
+    RebalanceTick,
+    /// Injected maintenance window opens (index into `config.drains`):
+    /// cordon the node and live-migrate its pods away.
+    DrainNode(usize),
+    /// The maintenance window closes: un-cordon the node.
+    UncordonNode(usize),
 }
 
 /// One submitted pod with its provenance, after the replay.
@@ -57,6 +68,10 @@ pub struct ReplayResult {
     runs: Vec<JobRun>,
     pending_epc_series: TimeSeries,
     pending_memory_series: TimeSeries,
+    epc_imbalance_series: TimeSeries,
+    migration_count: u64,
+    migration_downtime: SimDuration,
+    events: Vec<ClusterEvent>,
     end_time: SimTime,
     timed_out: bool,
 }
@@ -81,6 +96,33 @@ impl ReplayResult {
     /// Total ordinary memory requested by pending pods over time, in MiB.
     pub fn pending_memory_series(&self) -> &TimeSeries {
         &self.pending_memory_series
+    }
+
+    /// Per-node EPC-load imbalance over time: the spread between the
+    /// most- and least-loaded SGX node's requested-EPC fraction, sampled
+    /// after every scheduling pass and every rebalance/drain. The series
+    /// the rebalance-on/off experiments compare.
+    pub fn epc_imbalance_series(&self) -> &TimeSeries {
+        &self.epc_imbalance_series
+    }
+
+    /// Number of live migrations performed (rebalance passes + drains).
+    pub fn migration_count(&self) -> u64 {
+        self.migration_count
+    }
+
+    /// Total downtime migrated pods accumulated (the sum of transfer
+    /// delays); every second of it is also reflected in the affected
+    /// pods' turnaround times.
+    pub fn migration_downtime(&self) -> SimDuration {
+        self.migration_downtime
+    }
+
+    /// The orchestrator's cluster event stream, for audit assertions
+    /// (`kubectl get events` after the fact). Bounded by the event log's
+    /// capacity; oldest entries may have been evicted on huge replays.
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
     }
 
     /// Instant the last event fired (replay makespan).
@@ -134,11 +176,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let probe_period = config.orchestrator.probe_period;
     let cap = SimTime::ZERO + config.max_sim_time;
 
-    // Every job contributes a Submit and (usually) a PodFinish, the two
-    // periodic loops keep at most one in-flight event each, and failure
-    // injection adds a fail/recover pair — so ~2 events per job plus a
-    // small constant bounds the heap's high-water mark.
-    let event_estimate = workload.len() * 2 + config.failures.len() * 2 + 8;
+    // Every job contributes a Submit and (usually) a PodFinish, the
+    // periodic loops keep at most one in-flight event each, and each
+    // injected failure or drain adds an open/close pair — so ~2 events
+    // per job plus a small constant bounds the heap's high-water mark.
+    let event_estimate =
+        workload.len() * 2 + config.failures.len() * 2 + config.drains.len() * 2 + 8;
     let mut events: EventQueue<Event> = EventQueue::with_capacity(event_estimate);
     for (index, job) in workload.iter().enumerate() {
         events.schedule(job.submit, Event::Submit(index));
@@ -154,31 +197,49 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         events.schedule(at, Event::NodeFail(index));
         events.schedule(at + failure.down_for, Event::NodeRecover(index));
     }
+    for (index, drain) in config.drains.iter().enumerate() {
+        let at = SimTime::from_secs(drain.drain_at_secs);
+        events.schedule(at, Event::DrainNode(index));
+        events.schedule(at + drain.down_for, Event::UncordonNode(index));
+    }
     // The periodic loops start with the replay and stop once everything
     // has drained (they re-arm themselves only while work remains).
     events.schedule(SimTime::ZERO, Event::SchedulerTick);
     events.schedule(SimTime::ZERO, Event::ProbeTick);
+    if let Some(rebalance) = config.rebalance {
+        events.schedule(SimTime::ZERO + rebalance.period, Event::RebalanceTick);
+    }
 
     let mut uid_to_job: BTreeMap<PodUid, usize> = BTreeMap::new();
     let mut generation: BTreeMap<PodUid, u32> = BTreeMap::new();
+    // In-flight finish instant per running pod, so a live migration can
+    // shift the finish by its transfer delay (downtime → turnaround).
+    let mut finish_at: BTreeMap<PodUid, SimTime> = BTreeMap::new();
     let mut malicious_uids: Vec<PodUid> = Vec::new();
     let mut running = 0usize;
     let mut submits_remaining = workload.len() + usize::from(config.malicious.is_some());
     let mut pending_epc_series = TimeSeries::new();
     let mut pending_memory_series = TimeSeries::new();
+    let mut epc_imbalance_series = TimeSeries::new();
+    let mut migration_count = 0u64;
+    let mut migration_downtime = SimDuration::ZERO;
     let mut timed_out = false;
     let mut end_time = SimTime::ZERO;
     // The periodic loops de-arm themselves when the cluster drains and
     // are re-armed by the next submission.
     let mut sched_armed = true;
     let mut probe_armed = true;
+    let mut rebalance_armed = config.rebalance.is_some();
 
     while let Some((now, event)) = events.pop() {
-        end_time = now;
         if now > cap {
+            // The replay is cut off *at* the cap: events past it never
+            // execute, so the makespan reported is the cap itself.
+            end_time = cap;
             timed_out = true;
             break;
         }
+        end_time = now;
         match event {
             Event::Submit(index) => {
                 submits_remaining -= 1;
@@ -192,6 +253,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                 if !probe_armed {
                     events.schedule(now, Event::ProbeTick);
                     probe_armed = true;
+                }
+                if let Some(rebalance) = config.rebalance {
+                    if !rebalance_armed {
+                        events.schedule(now + rebalance.period, Event::RebalanceTick);
+                        rebalance_armed = true;
+                    }
                 }
             }
             Event::SubmitMalicious => {
@@ -222,14 +289,14 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                             .spec_duration
                             .mul_f64(outcome.slowdown_at_start.max(1.0));
                         let generation = *generation.entry(outcome.uid).or_insert(0);
-                        events.schedule(
-                            now + outcome.report.startup_delay + runtime,
-                            Event::PodFinish(outcome.uid, generation),
-                        );
+                        let finish = now + outcome.report.startup_delay + runtime;
+                        finish_at.insert(outcome.uid, finish);
+                        events.schedule(finish, Event::PodFinish(outcome.uid, generation));
                     }
                 }
                 pending_epc_series.record(now, orch.queue().epc_requested().as_mib_f64());
                 pending_memory_series.record(now, orch.queue().memory_requested().as_mib_f64());
+                epc_imbalance_series.record(now, orch.epc_imbalance());
                 if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
                     events.schedule(now + scheduler_period, Event::SchedulerTick);
                 } else {
@@ -246,9 +313,10 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
             }
             Event::PodFinish(uid, event_generation) => {
                 if generation.get(&uid).copied().unwrap_or(0) != event_generation {
-                    continue; // stale: the pod crashed and was rescheduled
+                    continue; // stale: the pod crashed or migrated since
                 }
                 running -= 1;
+                finish_at.remove(&uid);
                 orch.complete_pod(uid, now)
                     .expect("finish events only exist for running pods");
             }
@@ -262,6 +330,7 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                     // Invalidate the in-flight finish event and account
                     // the pod as queued again.
                     *generation.entry(uid).or_insert(0) += 1;
+                    finish_at.remove(&uid);
                     running -= 1;
                 }
                 if !sched_armed {
@@ -272,6 +341,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                     events.schedule(now, Event::ProbeTick);
                     probe_armed = true;
                 }
+                if let Some(rebalance) = config.rebalance {
+                    if !rebalance_armed {
+                        events.schedule(now + rebalance.period, Event::RebalanceTick);
+                        rebalance_armed = true;
+                    }
+                }
             }
             Event::NodeRecover(index) => {
                 let failure = &config.failures[index];
@@ -279,16 +354,91 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                 orch.recover_node(&node, now)
                     .expect("failure injection targets existing nodes");
             }
+            Event::RebalanceTick => {
+                let rebalance = config.rebalance.expect("event only scheduled when set");
+                let moves = orch.rebalance_epc(now, rebalance.threshold);
+                apply_migrations(
+                    &moves,
+                    now,
+                    &mut events,
+                    &mut generation,
+                    &mut finish_at,
+                    &mut migration_count,
+                    &mut migration_downtime,
+                );
+                epc_imbalance_series.record(now, orch.epc_imbalance());
+                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                    events.schedule(now + rebalance.period, Event::RebalanceTick);
+                } else {
+                    rebalance_armed = false;
+                }
+            }
+            Event::DrainNode(index) => {
+                let drain = &config.drains[index];
+                let node = cluster::api::NodeName::new(drain.node.clone());
+                let moves = orch
+                    .drain_node(&node, now)
+                    .expect("drain injection targets existing nodes");
+                apply_migrations(
+                    &moves,
+                    now,
+                    &mut events,
+                    &mut generation,
+                    &mut finish_at,
+                    &mut migration_count,
+                    &mut migration_downtime,
+                );
+                epc_imbalance_series.record(now, orch.epc_imbalance());
+            }
+            Event::UncordonNode(index) => {
+                let drain = &config.drains[index];
+                let node = cluster::api::NodeName::new(drain.node.clone());
+                orch.uncordon_node(&node, now)
+                    .expect("drain injection targets existing nodes");
+            }
         }
     }
 
     let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids);
+    let events = orch.events().iter().cloned().collect();
     ReplayResult {
         runs,
         pending_epc_series,
         pending_memory_series,
+        epc_imbalance_series,
+        migration_count,
+        migration_downtime,
+        events,
         end_time,
         timed_out,
+    }
+}
+
+/// Accounts a batch of live migrations in the event loop: each migrated
+/// pod's in-flight [`Event::PodFinish`] is invalidated through the
+/// generation counter and rescheduled shifted by the transfer delay, so
+/// the migration downtime lands in the pod's turnaround time.
+fn apply_migrations(
+    moves: &[Migration],
+    now: SimTime,
+    events: &mut EventQueue<Event>,
+    generation: &mut BTreeMap<PodUid, u32>,
+    finish_at: &mut BTreeMap<PodUid, SimTime>,
+    migration_count: &mut u64,
+    migration_downtime: &mut SimDuration,
+) {
+    for m in moves {
+        let gen = generation.entry(m.uid).or_insert(0);
+        *gen += 1;
+        let old_finish = finish_at
+            .get(&m.uid)
+            .copied()
+            .expect("only running pods (with a scheduled finish) migrate");
+        let new_finish = old_finish.max(now) + m.delay;
+        finish_at.insert(m.uid, new_finish);
+        events.schedule(new_finish, Event::PodFinish(m.uid, *gen));
+        *migration_count += 1;
+        *migration_downtime += m.delay;
     }
 }
 
@@ -486,6 +636,112 @@ mod tests {
         let a = replay(&workload, &config);
         let b = replay(&workload, &config);
         assert_eq!(a.runs(), b.runs());
+    }
+
+    #[test]
+    fn timed_out_replay_clamps_end_time_to_the_cap() {
+        let workload = small_workload(1.0);
+        let mut config = ReplayConfig::paper(13);
+        // A cap far below the drain time forces the timeout path.
+        config.max_sim_time = SimDuration::from_secs(120);
+        let result = replay(&workload, &config);
+        assert!(result.timed_out());
+        // Regression: `end_time` used to report the first event *past*
+        // the cap instead of the cap itself.
+        assert_eq!(result.end_time(), SimTime::ZERO + config.max_sim_time);
+    }
+
+    #[test]
+    fn rebalancing_lowers_epc_imbalance_and_counts_migrations() {
+        let workload = small_workload(1.0);
+        let off = replay(&workload, &ReplayConfig::paper(14));
+        let on = replay(
+            &workload,
+            &ReplayConfig::paper(14).with_rebalance(crate::RebalanceConfig::every(
+                SimDuration::from_secs(60),
+                0.2,
+            )),
+        );
+        assert!(!on.timed_out());
+        assert!(on.migration_count() > 0);
+        assert!(on.migration_downtime() > SimDuration::ZERO);
+        assert_eq!(off.migration_count(), 0);
+        assert_eq!(off.migration_downtime(), SimDuration::ZERO);
+        let mean = crate::analysis::mean_epc_imbalance;
+        assert!(
+            mean(&on) < mean(&off),
+            "rebalance-on imbalance {} vs off {}",
+            mean(&on),
+            mean(&off)
+        );
+        // Every pod still reaches a terminal state.
+        let terminal = on.completed_count() + on.denied_count() + on.unschedulable_count();
+        assert_eq!(terminal, workload.len());
+    }
+
+    #[test]
+    fn drain_migrations_shift_turnaround_by_their_downtime() {
+        let workload = small_workload(1.0);
+        // A roomy cluster: the drained node's pods always have somewhere
+        // to go, so the turnaround delta is purely migration downtime
+        // plus its knock-on queueing effects.
+        let roomy = || {
+            ReplayConfig::paper(15).with_cluster(
+                cluster::topology::ClusterSpec::paper_cluster_with_epc(ByteSize::from_mib(256)),
+            )
+        };
+        let baseline = replay(&workload, &roomy());
+        let drained = replay(
+            &workload,
+            &roomy().with_drain(crate::NodeDrain {
+                node: "sgx-1".to_string(),
+                drain_at_secs: 900,
+                down_for: SimDuration::from_secs(1200),
+            }),
+        );
+        assert!(!baseline.timed_out());
+        assert!(!drained.timed_out());
+        assert!(drained.migration_count() > 0);
+        assert!(drained.migration_downtime() > SimDuration::ZERO);
+        // Downtime lands in turnaround numbers: with the same workload
+        // and seed, the drained run's total turnaround exceeds the
+        // baseline's by at least something (migrated pods finish later;
+        // queued pods behind them may wait longer still).
+        let total = |r: &ReplayResult| crate::analysis::total_turnaround(r, None);
+        assert!(
+            total(&drained) > total(&baseline),
+            "drained {:?} vs baseline {:?}",
+            total(&drained),
+            total(&baseline)
+        );
+        let terminal =
+            drained.completed_count() + drained.denied_count() + drained.unschedulable_count();
+        assert_eq!(terminal, workload.len());
+    }
+
+    #[test]
+    fn rebalanced_replay_is_deterministic() {
+        let workload = small_workload(0.75);
+        let config = ReplayConfig::paper(16)
+            .with_rebalance(crate::RebalanceConfig::every(
+                SimDuration::from_secs(45),
+                0.1,
+            ))
+            .with_drain(crate::NodeDrain {
+                node: "sgx-2".to_string(),
+                drain_at_secs: 1500,
+                down_for: SimDuration::from_secs(600),
+            });
+        let a = replay(&workload, &config);
+        let b = replay(&workload, &config);
+        assert_eq!(a.runs(), b.runs());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.migration_count(), b.migration_count());
+        assert_eq!(a.migration_downtime(), b.migration_downtime());
+        assert_eq!(
+            a.epc_imbalance_series().points(),
+            b.epc_imbalance_series().points()
+        );
     }
 
     #[test]
