@@ -26,6 +26,47 @@ pub const MEASUREMENT_MEMORY: &str = "memory/usage";
 /// Measurement name for EPC usage (the SGX probe).
 pub const MEASUREMENT_EPC: &str = "sgx/epc";
 
+/// Bounded retry-with-exponential-backoff policy of the probe transport.
+///
+/// A scrape frame whose database write fails is retried after
+/// `backoff · 2^attempt` of simulated time, up to `max_retries` times;
+/// after that the frame is dropped and counted as lost. A policy with
+/// `max_retries == 0` drops failed frames immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum number of redelivery attempts after the first failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on every further attempt.
+    pub backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The transport defaults: three retries starting at a 2 s backoff
+    /// (2 s, 4 s, 8 s — all inside the scheduler's 25 s metrics window).
+    pub fn paper_defaults() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Backoff to wait before retry number `attempt` (zero-based count of
+    /// failures so far), or `None` once the retry budget is exhausted.
+    pub fn backoff_before(&self, attempt: u32) -> Option<SimDuration> {
+        if attempt >= self.max_retries {
+            return None;
+        }
+        // Cap the shift: beyond 2^20 the backoff dwarfs any replay anyway.
+        Some(self.backoff * (1u64 << attempt.min(20)))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_defaults()
+    }
+}
+
 /// A monitoring probe: which metrics it scrapes and how often.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Probe {
@@ -200,6 +241,21 @@ mod tests {
             assert!(probe.sample(&sgx_node, SimTime::ZERO).is_empty());
             assert!(probe.sample_batch(&sgx_node, SimTime::ZERO).is_empty());
         }
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially_then_gives_up() {
+        let policy = RetryPolicy::paper_defaults();
+        assert_eq!(policy.backoff_before(0), Some(SimDuration::from_secs(2)));
+        assert_eq!(policy.backoff_before(1), Some(SimDuration::from_secs(4)));
+        assert_eq!(policy.backoff_before(2), Some(SimDuration::from_secs(8)));
+        assert_eq!(policy.backoff_before(3), None);
+        let none = RetryPolicy {
+            max_retries: 0,
+            backoff: SimDuration::from_secs(1),
+        };
+        assert_eq!(none.backoff_before(0), None);
+        assert_eq!(RetryPolicy::default(), RetryPolicy::paper_defaults());
     }
 
     #[test]

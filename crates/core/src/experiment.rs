@@ -4,7 +4,8 @@ use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams
 use cluster::topology::ClusterSpec;
 use sgx_sim::units::ByteSize;
 use simulation::{
-    replay, sweep, MaliciousConfig, RebalanceConfig, ReplayConfig, ReplayResult, SweepProgress,
+    replay, sweep, FaultPlan, MaliciousConfig, RebalanceConfig, ReplayConfig, ReplayResult,
+    SweepProgress,
 };
 
 /// Which trace the experiment replays.
@@ -43,6 +44,7 @@ pub struct Experiment {
     enforce_limits: bool,
     malicious: Option<MaliciousConfig>,
     rebalance: Option<RebalanceConfig>,
+    faults: FaultPlan,
 }
 
 impl Experiment {
@@ -58,6 +60,7 @@ impl Experiment {
             enforce_limits: true,
             malicious: None,
             rebalance: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -123,6 +126,13 @@ impl Experiment {
         self
     }
 
+    /// Injects metrics-pipeline faults (scrape drops, probe silences,
+    /// delayed frames, shard write failures) into the replay.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The prepared (sliced/sampled/rebased) trace this experiment replays.
     pub fn prepared_trace(&self) -> Trace {
         match self.preset {
@@ -158,6 +168,9 @@ impl Experiment {
         }
         if let Some(rebalance) = self.rebalance {
             config = config.with_rebalance(rebalance);
+        }
+        if !self.faults.is_noop() {
+            config = config.with_faults(self.faults.clone());
         }
         config
     }
@@ -267,6 +280,25 @@ mod tests {
         assert!(result.migration_downtime() > des::SimDuration::ZERO);
         // Off by default.
         assert!(Experiment::quick(8).replay_config().rebalance.is_none());
+    }
+
+    #[test]
+    fn fault_builder_reaches_the_replay() {
+        let plan = FaultPlan::none()
+            .with_seed(9)
+            .with_scrape_drops(0.25)
+            .with_silence(simulation::ProbeSilence {
+                node: "sgx-1".to_string(),
+                from_secs: 120,
+                until_secs: 900,
+            });
+        let exp = Experiment::quick(9).sgx_ratio(1.0).faults(plan.clone());
+        assert_eq!(exp.replay_config().faults, plan);
+        let result = exp.run();
+        assert!(result.fault_stats().frames_dropped > 0);
+        assert!(result.degraded_decisions() > 0);
+        // Fault-free by default.
+        assert!(Experiment::quick(9).replay_config().faults.is_noop());
     }
 
     #[test]

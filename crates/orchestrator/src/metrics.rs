@@ -12,6 +12,17 @@
 //! measured usage and reserved requests**: requests protect very recent
 //! bindings the probes have not reported yet, while measurements catch
 //! pods using more than they declared (the Fig. 11 attack).
+//!
+//! # Metrics staleness
+//!
+//! A node whose probes go silent has its in-window samples age out, so
+//! its measured usage silently collapses to zero — indistinguishable
+//! from a genuinely idle node. Each [`NodeView`] therefore carries the
+//! age of the node's last delivered scrape; once that age exceeds the
+//! orchestrator's staleness threshold the view is marked **degraded**
+//! and the node falls back to requests-only accounting (its vanished
+//! measurements are no longer trusted), and placement policies prefer
+//! fresh nodes over degraded ones.
 
 use std::collections::BTreeMap;
 
@@ -37,6 +48,12 @@ pub struct NodeView {
     pub memory_measured: ByteSize,
     /// EPC usage measured over the sliding window.
     pub epc_measured: ByteSize,
+    /// Age of the node's last delivered scrape, `None` if never scraped.
+    pub metrics_age: Option<SimDuration>,
+    /// `true` once `metrics_age` exceeds the staleness threshold: the
+    /// node's measurements can no longer be trusted and occupancy falls
+    /// back to requests-only accounting.
+    pub degraded: bool,
 }
 
 impl NodeView {
@@ -45,13 +62,23 @@ impl NodeView {
         !self.epc_capacity.is_zero()
     }
 
-    /// Effective memory occupancy: `max(measured, requested)`.
+    /// Effective memory occupancy: `max(measured, requested)`, or
+    /// requests alone when the view is degraded (stale measurements have
+    /// aged out of the window and read as idle — trusting them would make
+    /// a silent node look empty).
     pub fn memory_occupied(&self) -> ByteSize {
+        if self.degraded {
+            return self.memory_requested;
+        }
         self.memory_measured.max(self.memory_requested)
     }
 
-    /// Effective EPC occupancy in pages: `max(measured, requested)`.
+    /// Effective EPC occupancy in pages: `max(measured, requested)`, or
+    /// requests alone when the view is degraded.
     pub fn epc_occupied(&self) -> EpcPages {
+        if self.degraded {
+            return self.epc_requested;
+        }
         self.epc_measured
             .to_epc_pages_ceil()
             .max(self.epc_requested)
@@ -185,6 +212,8 @@ impl ClusterView {
                         .get(name.as_str())
                         .copied()
                         .unwrap_or(ByteSize::ZERO),
+                    metrics_age: None,
+                    degraded: false,
                 };
                 (name, view)
             })
@@ -215,6 +244,23 @@ impl ClusterView {
                 Some((node, ByteSize::from_bytes(row.value.max(0.0) as u64)))
             })
             .collect()
+    }
+
+    /// Stamps every node with the age of its last delivered scrape and
+    /// marks nodes whose age exceeds `threshold` as degraded. A node that
+    /// was never scraped (`age_of` returns `None`) keeps `metrics_age ==
+    /// None` and stays fresh: before the first probe tick nothing has
+    /// been measured anywhere, so there is no staleness to distrust.
+    pub fn annotate_staleness(
+        &mut self,
+        threshold: SimDuration,
+        mut age_of: impl FnMut(&NodeName) -> Option<SimDuration>,
+    ) {
+        for (name, view) in self.nodes.iter_mut() {
+            let age = age_of(name);
+            view.metrics_age = age;
+            view.degraded = age.is_some_and(|a| a > threshold);
+        }
     }
 
     /// The per-node views, in node-name order.
@@ -318,6 +364,50 @@ mod tests {
         v.epc_requested = EpcPages::new(500);
         assert_eq!(v.epc_occupied(), EpcPages::new(500)); // requested wins
         assert_eq!(v.epc_free(), EpcPages::new(500));
+    }
+
+    #[test]
+    fn degraded_view_falls_back_to_requests_only() {
+        let mut v = NodeView {
+            memory_capacity: ByteSize::from_gib(8),
+            epc_capacity: EpcPages::new(1000),
+            memory_requested: ByteSize::from_gib(1),
+            epc_requested: EpcPages::new(100),
+            memory_measured: ByteSize::from_gib(4),
+            epc_measured: EpcPages::new(600).to_bytes(),
+            ..NodeView::default()
+        };
+        assert_eq!(v.memory_occupied(), ByteSize::from_gib(4));
+        assert_eq!(v.epc_occupied(), EpcPages::new(600));
+        v.degraded = true;
+        // Stale measurements are no longer trusted in either direction:
+        // only the reservations count.
+        assert_eq!(v.memory_occupied(), ByteSize::from_gib(1));
+        assert_eq!(v.epc_occupied(), EpcPages::new(100));
+        assert_eq!(v.epc_free(), EpcPages::new(900));
+    }
+
+    #[test]
+    fn annotate_staleness_marks_old_nodes_degraded() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let db = Database::new();
+        let mut view = paper_view(&db, &cluster, SimTime::from_secs(100));
+        let threshold = SimDuration::from_secs(30);
+        view.annotate_staleness(threshold, |name| match name.as_str() {
+            "sgx-1" => Some(SimDuration::from_secs(45)), // stale
+            "sgx-2" => Some(SimDuration::from_secs(30)), // exactly at threshold
+            "std-1" => Some(SimDuration::from_secs(10)), // fresh
+            _ => None,                                   // never scraped
+        });
+        let sgx1 = view.node(&NodeName::new("sgx-1")).unwrap();
+        assert!(sgx1.degraded);
+        assert_eq!(sgx1.metrics_age, Some(SimDuration::from_secs(45)));
+        // The threshold itself is still fresh (strictly-greater cutoff).
+        assert!(!view.node(&NodeName::new("sgx-2")).unwrap().degraded);
+        assert!(!view.node(&NodeName::new("std-1")).unwrap().degraded);
+        let never = view.node(&NodeName::new("std-2")).unwrap();
+        assert!(!never.degraded);
+        assert_eq!(never.metrics_age, None);
     }
 
     #[test]

@@ -50,12 +50,21 @@ impl PlacementPolicy {
 
     fn place_binpack(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
         // Consistent node order: non-SGX nodes (by name) before SGX nodes
-        // (by name); the view iterates in name order already.
+        // (by name); the view iterates in name order already. Within each
+        // group, nodes with fresh metrics come before degraded ones — a
+        // node whose probes went silent is only a last resort. With no
+        // degraded nodes the order is identical to the plain partition.
         let (sgx_nodes, standard_nodes): (Vec<_>, Vec<_>) =
             view.iter().partition(|(_, v)| v.has_sgx());
-        standard_nodes
+        let (std_degraded, std_fresh): (Vec<_>, Vec<_>) =
+            standard_nodes.into_iter().partition(|(_, v)| v.degraded);
+        let (sgx_degraded, sgx_fresh): (Vec<_>, Vec<_>) =
+            sgx_nodes.into_iter().partition(|(_, v)| v.degraded);
+        std_fresh
             .into_iter()
-            .chain(sgx_nodes)
+            .chain(std_degraded)
+            .chain(sgx_fresh)
+            .chain(sgx_degraded)
             .find(|(_, v)| v.fits(spec))
             .map(|(name, _)| name.clone())
     }
@@ -63,15 +72,23 @@ impl PlacementPolicy {
     fn place_spread(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
         // Candidate tiers: for standard pods, try non-SGX nodes first and
         // fall back to SGX nodes only when no other choice exists. SGX
-        // pods have a single tier (SGX nodes).
-        let tiers: [Vec<(&NodeName, &crate::metrics::NodeView)>; 2] = if spec.needs_sgx() {
-            [
-                view.iter().filter(|(_, v)| v.has_sgx()).collect(),
-                Vec::new(),
-            ]
+        // pods have a single tier (SGX nodes). Each tier is further split
+        // fresh-before-degraded, so silenced-probe nodes are considered
+        // only when every fresh node of the tier is full; with no degraded
+        // nodes the fresh sub-tier is the whole tier, unchanged.
+        let tiers: Vec<Vec<(&NodeName, &crate::metrics::NodeView)>> = if spec.needs_sgx() {
+            let (degraded, fresh): (Vec<_>, Vec<_>) = view
+                .iter()
+                .filter(|(_, v)| v.has_sgx())
+                .partition(|(_, v)| v.degraded);
+            vec![fresh, degraded]
         } else {
             let (sgx, standard): (Vec<_>, Vec<_>) = view.iter().partition(|(_, v)| v.has_sgx());
-            [standard, sgx]
+            let (std_degraded, std_fresh): (Vec<_>, Vec<_>) =
+                standard.into_iter().partition(|(_, v)| v.degraded);
+            let (sgx_degraded, sgx_fresh): (Vec<_>, Vec<_>) =
+                sgx.into_iter().partition(|(_, v)| v.degraded);
+            vec![std_fresh, std_degraded, sgx_fresh, sgx_degraded]
         };
 
         for tier in tiers {
@@ -85,9 +102,7 @@ impl PlacementPolicy {
             let best = feasible.iter().min_by(|a, b| {
                 let sa = load_stddev_with_placement(&tier, a.0, spec);
                 let sb = load_stddev_with_placement(&tier, b.0, spec);
-                sa.partial_cmp(&sb)
-                    .expect("loads are finite")
-                    .then_with(|| a.0.cmp(b.0))
+                sa.total_cmp(&sb).then_with(|| a.0.cmp(b.0))
             });
             if let Some((name, _)) = best {
                 return Some((*name).clone());
@@ -115,7 +130,7 @@ mod tests {
     use super::*;
     use cluster::topology::{Cluster, ClusterSpec};
     use des::{SimDuration, SimTime};
-    use sgx_sim::units::ByteSize;
+    use sgx_sim::units::{ByteSize, EpcPages};
     use tsdb::Database;
 
     fn empty_view() -> ClusterView {
@@ -206,6 +221,81 @@ mod tests {
         }
         let chosen = PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap();
         assert!(chosen.as_str().starts_with("sgx"));
+    }
+
+    /// The headline bug: a node whose probes went silent has its samples
+    /// age out, so its measured usage reads zero and usage-informed
+    /// policies would pick the "idle-looking" node. Once the view marks
+    /// it degraded, both policies must prefer the fresh node instead.
+    #[test]
+    fn stale_node_is_not_preferred_once_degraded() {
+        let mut view = empty_view();
+        let busy = EpcPages::new(20_000).to_bytes();
+        // sgx-1 is actually the busiest node in the cluster, but its
+        // probes went silent: measurements aged out and read as zero.
+        view.node_mut(&NodeName::new("sgx-1")).unwrap().epc_measured = ByteSize::ZERO;
+        // sgx-2 reports honestly and shows real load.
+        view.node_mut(&NodeName::new("sgx-2")).unwrap().epc_measured = busy;
+
+        // Staleness-blind, both policies prefer the silent node: binpack
+        // because it walks name order, spread because it looks idle.
+        assert_eq!(
+            PlacementPolicy::Binpack.place(&sgx_pod(10), &view).unwrap(),
+            NodeName::new("sgx-1")
+        );
+        assert_eq!(
+            PlacementPolicy::Spread.place(&sgx_pod(10), &view).unwrap(),
+            NodeName::new("sgx-1")
+        );
+
+        // Annotate: sgx-1 last scraped 10 minutes ago, sgx-2 fresh.
+        view.annotate_staleness(SimDuration::from_secs(30), |name| {
+            if name.as_str() == "sgx-1" {
+                Some(SimDuration::from_secs(600))
+            } else {
+                Some(SimDuration::from_secs(5))
+            }
+        });
+        for policy in [PlacementPolicy::Binpack, PlacementPolicy::Spread] {
+            assert_eq!(
+                policy.place(&sgx_pod(10), &view).unwrap(),
+                NodeName::new("sgx-2"),
+                "{policy} still prefers the stale node"
+            );
+        }
+        // The degraded node remains a last resort: fill sgx-2 and the
+        // pod falls back to sgx-1 rather than going unschedulable.
+        view.node_mut(&NodeName::new("sgx-2"))
+            .unwrap()
+            .reserve(&sgx_pod(90));
+        for policy in [PlacementPolicy::Binpack, PlacementPolicy::Spread] {
+            assert_eq!(
+                policy.place(&sgx_pod(10), &view).unwrap(),
+                NodeName::new("sgx-1"),
+                "{policy} should fall back to the degraded node"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_standard_nodes_come_before_degraded_ones() {
+        let mut view = empty_view();
+        view.annotate_staleness(SimDuration::from_secs(30), |name| {
+            if name.as_str() == "std-1" {
+                Some(SimDuration::from_secs(120))
+            } else {
+                Some(SimDuration::from_secs(1))
+            }
+        });
+        // binpack would normally start at std-1; degraded, it skips ahead.
+        assert_eq!(
+            PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap(),
+            NodeName::new("std-2")
+        );
+        assert_eq!(
+            PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap(),
+            NodeName::new("std-2")
+        );
     }
 
     #[test]

@@ -75,9 +75,7 @@ fn place_least_requested(spec: &PodSpec, view: &ClusterView) -> Option<NodeName>
         .min_by(|a, b| {
             let fa = requested_fraction(a.1, spec);
             let fb = requested_fraction(b.1, spec);
-            fa.partial_cmp(&fb)
-                .expect("fractions are finite")
-                .then_with(|| a.0.cmp(b.0))
+            fa.total_cmp(&fb).then_with(|| a.0.cmp(b.0))
         })
         .map(|(name, _)| name.clone())
 }

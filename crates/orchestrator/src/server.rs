@@ -38,6 +38,10 @@ pub struct OrchestratorConfig {
     /// Number of independently locked shards the ingestion database is
     /// split into (≥ 1; 1 behaves exactly like the unsharded store).
     pub ingest_shards: usize,
+    /// How old a node's last delivered scrape may get before the
+    /// scheduler stops trusting its measurements and falls back to
+    /// requests-only accounting for that node.
+    pub staleness_threshold: SimDuration,
     /// Base seed for the startup-cost jitter stream.
     pub seed: u64,
 }
@@ -53,6 +57,9 @@ impl OrchestratorConfig {
             probe_period: SimDuration::from_secs(10),
             retention: SimDuration::from_mins(15),
             ingest_shards: 4,
+            // Three missed 10 s scrapes: the 25 s window is empty by then,
+            // so the node's measurements have fully aged out.
+            staleness_threshold: SimDuration::from_secs(30),
             seed: 0,
         }
     }
@@ -72,6 +79,12 @@ impl OrchestratorConfig {
     /// Same configuration with a different default scheduler.
     pub fn with_default_scheduler(mut self, name: impl Into<String>) -> Self {
         self.default_scheduler = name.into();
+        self
+    }
+
+    /// Same configuration with a different staleness threshold.
+    pub fn with_staleness_threshold(mut self, threshold: SimDuration) -> Self {
+        self.staleness_threshold = threshold;
         self
     }
 }
@@ -196,6 +209,13 @@ pub struct Orchestrator {
     config: OrchestratorConfig,
     records: BTreeMap<PodUid, PodRecord>,
     events: EventLog,
+    /// Instant each node's metrics last reached the database (scrape
+    /// *delivery*, not sampling: a frame lost in transit keeps the node
+    /// stale). Absent until the node's first delivered scrape.
+    last_scrape: BTreeMap<NodeName, SimTime>,
+    /// Placement decisions taken while at least one node's view was
+    /// degraded by stale metrics.
+    degraded_decisions: u64,
     next_uid: u64,
     rng: StdRng,
 }
@@ -217,6 +237,8 @@ impl Orchestrator {
             config,
             records: BTreeMap::new(),
             events: EventLog::with_capacity(100_000),
+            last_scrape: BTreeMap::new(),
+            degraded_decisions: 0,
             next_uid: 1,
         }
     }
@@ -315,6 +337,7 @@ impl Orchestrator {
     /// and leave the queue — they were launched and killed.
     pub fn scheduler_pass(&mut self, now: SimTime) -> Vec<BindOutcome> {
         let mut view = self.capture_view(now);
+        let view_degraded = view.iter().any(|(_, v)| v.degraded);
         let mut outcomes = Vec::new();
 
         for pending in self.queue.snapshot() {
@@ -374,6 +397,9 @@ impl Orchestrator {
                         .cluster
                         .node(&node_name)
                         .map_or(1.0, |n| n.current_slowdown());
+                    if view_degraded {
+                        self.degraded_decisions += 1;
+                    }
                     outcomes.push(BindOutcome {
                         uid: pending.uid,
                         node: node_name,
@@ -408,7 +434,71 @@ impl Orchestrator {
                 }
             }
         }
+        self.stamp_all_scrapes(now);
         self.db.enforce_retention(now, self.config.retention);
+    }
+
+    /// Records a successful same-instant scrape delivery for every node —
+    /// the lossless probe passes deliver all frames inline.
+    fn stamp_all_scrapes(&mut self, now: SimTime) {
+        let names: Vec<NodeName> = self.cluster.nodes().map(|n| n.name().clone()).collect();
+        for name in names {
+            self.record_scrape(&name, now);
+        }
+    }
+
+    /// Scrapes every node into per-node wire frames *without* delivering
+    /// them — probe-major, in exactly the order [`probe_pass`] inserts, so
+    /// delivering every frame inline via [`ingest_frame`] reproduces a
+    /// lossless pass bit for bit. Empty frames are included: a scrape of
+    /// an idle node still proves the node's probes are alive.
+    ///
+    /// [`probe_pass`]: Self::probe_pass
+    /// [`ingest_frame`]: Self::ingest_frame
+    pub fn scrape_frames(&self, now: SimTime) -> Vec<(NodeName, PointBatch)> {
+        let mut frames = Vec::new();
+        for probe in &self.probes {
+            for node in self.cluster.nodes() {
+                if probe.targets(node) {
+                    frames.push((node.name().clone(), probe.sample_batch(node, now)));
+                }
+            }
+        }
+        frames
+    }
+
+    /// Delivers one scrape frame into the database and refreshes the
+    /// node's metrics freshness. `scraped_at` is the instant the frame
+    /// was sampled — a delayed frame arriving after a newer one must not
+    /// roll freshness backwards, so the stamp is max-merged.
+    pub fn ingest_frame(&mut self, node: &NodeName, batch: &PointBatch, scraped_at: SimTime) {
+        self.db.insert_batch(batch);
+        self.record_scrape(node, scraped_at);
+    }
+
+    fn record_scrape(&mut self, node: &NodeName, scraped_at: SimTime) {
+        self.last_scrape
+            .entry(node.clone())
+            .and_modify(|t| *t = (*t).max(scraped_at))
+            .or_insert(scraped_at);
+    }
+
+    /// Enforces the database retention window, as the tail of a probe
+    /// tick does. Split out for transports that deliver frames
+    /// themselves.
+    pub fn enforce_metrics_retention(&mut self, now: SimTime) {
+        self.db.enforce_retention(now, self.config.retention);
+    }
+
+    /// Age of a node's last delivered scrape, `None` if never scraped.
+    pub fn metrics_age(&self, node: &NodeName, now: SimTime) -> Option<SimDuration> {
+        self.last_scrape.get(node).map(|&t| now.saturating_since(t))
+    }
+
+    /// Placement decisions taken while stale metrics had degraded at
+    /// least one node's view.
+    pub fn degraded_decisions(&self) -> u64 {
+        self.degraded_decisions
     }
 
     /// [`probe_pass`](Self::probe_pass) with the fleet fan-in ran
@@ -469,6 +559,7 @@ impl Orchestrator {
             // is done.
             drop(senders);
         });
+        self.stamp_all_scrapes(now);
         self.db.enforce_retention(now, self.config.retention);
     }
 
@@ -505,13 +596,25 @@ impl Orchestrator {
     /// against the database's change stamps, and its results are
     /// bit-for-bit identical to querying the database directly.
     pub fn capture_view(&self, now: SimTime) -> ClusterView {
-        ClusterView::capture_cached(
+        let mut view = ClusterView::capture_cached(
             &self.cluster,
             &self.db,
             &mut self.window_cache.borrow_mut(),
             now,
             self.config.metrics_window,
-        )
+        );
+        self.annotate_staleness(&mut view, now);
+        view
+    }
+
+    /// Stamps a view with per-node metrics ages and degrades nodes whose
+    /// last delivered scrape is older than the configured threshold —
+    /// what [`capture_view`](Self::capture_view) applies to every
+    /// snapshot it hands the schedulers.
+    pub fn annotate_staleness(&self, view: &mut ClusterView, now: SimTime) {
+        view.annotate_staleness(self.config.staleness_threshold, |name| {
+            self.metrics_age(name, now)
+        });
     }
 
     /// Usage counters of the sliding-window query cache.
@@ -768,8 +871,8 @@ impl Orchestrator {
     pub fn rebalance_epc(&mut self, now: SimTime, threshold: f64) -> Vec<Migration> {
         let mut moves = Vec::new();
         loop {
-            // Snapshot per-SGX-node load fractions.
-            let mut loads: Vec<(NodeName, f64, EpcPages)> = self
+            // Snapshot per-SGX-node load fractions and capacities.
+            let mut loads: Vec<(NodeName, f64, EpcPages, u64)> = self
                 .cluster
                 .sgx_nodes()
                 .map(|n| {
@@ -778,25 +881,27 @@ impl Orchestrator {
                         n.name().clone(),
                         n.epc_requested().count() as f64 / cap as f64,
                         n.epc_unrequested(),
+                        cap,
                     )
                 })
                 .collect();
             if loads.len() < 2 {
                 return moves;
             }
-            loads.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-            let (coldest_name, cold_load, cold_free) = loads.first().expect("non-empty").clone();
-            let (hottest_name, hot_load, _) = loads.last().expect("non-empty").clone();
+            loads.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let (coldest_name, cold_load, cold_free, cold_cap) =
+                loads.first().expect("non-empty").clone();
+            let (hottest_name, hot_load, _, hot_cap) = loads.last().expect("non-empty").clone();
             if hot_load - cold_load <= threshold {
                 return moves;
             }
             // Pick the largest pod on the hottest node that both fits the
-            // coldest node and does not overshoot the balance point.
-            let gap_pages = {
-                let hot = self.cluster.node(&hottest_name).expect("exists");
-                let cap = hot.allocatable_epc().count();
-                (((hot_load - cold_load) / 2.0) * cap as f64) as u64
-            };
+            // coldest node and does not overshoot the balance point. The
+            // gap is rounded *up* to at least one page: truncation would
+            // read as zero on small-EPC nodes and stall the loop with the
+            // imbalance still above the threshold.
+            let gap_pages =
+                ((((hot_load - cold_load) / 2.0) * hot_cap as f64).ceil() as u64).max(1);
             let candidate = self
                 .cluster
                 .node(&hottest_name)
@@ -808,10 +913,30 @@ impl Orchestrator {
                     !pages.is_zero() && pages <= cold_free && pages.count() <= gap_pages
                 })
                 .max_by_key(|p| p.spec.resources.requests.epc_pages)
-                .map(|p| p.uid);
-            let Some(uid) = candidate else {
+                .map(|p| (p.uid, p.spec.resources.requests.epc_pages.count()));
+            let Some((uid, pages)) = candidate else {
                 return moves;
             };
+            // The move must strictly shrink the spread; with the one-page
+            // minimum a move could otherwise overshoot and ping-pong the
+            // same pod between two nearly balanced tiny nodes forever.
+            let new_hot = hot_load - pages as f64 / hot_cap as f64;
+            let new_cold = cold_load + pages as f64 / cold_cap as f64;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for (name, load, _, _) in &loads {
+                let l = if *name == hottest_name {
+                    new_hot
+                } else if *name == coldest_name {
+                    new_cold
+                } else {
+                    *load
+                };
+                lo = lo.min(l);
+                hi = hi.max(l);
+            }
+            if hi - lo >= hot_load - cold_load {
+                return moves;
+            }
             let Ok(delay) = self.migrate_pod(uid, &coldest_name, now) else {
                 return moves;
             };
@@ -979,8 +1104,9 @@ mod tests {
                 orch.probe_pass(now);
             }
             let cached = orch.capture_view(now);
-            let direct =
+            let mut direct =
                 ClusterView::capture(orch.cluster(), orch.db(), now, orch.config().metrics_window);
+            orch.annotate_staleness(&mut direct, now);
             for (name, view) in direct.iter() {
                 assert_eq!(cached.node(name), Some(view), "diverged at {now}");
             }
@@ -1143,6 +1269,177 @@ mod tests {
                 PodOutcome::Running { .. }
             ));
         }
+    }
+
+    #[test]
+    fn rebalance_makes_progress_on_tiny_epc_nodes() {
+        // Regression: `gap_pages` used to truncate with `as u64`, reading
+        // zero on small-EPC nodes while the imbalance still exceeded the
+        // threshold — the loop exited without moving anything. sgx-tiny
+        // has 8 usable pages; one 1-page pod there is a 0.125 imbalance
+        // against the paper-size sgx-big, but the truncated gap was
+        // floor(0.0625 · 8) = 0.
+        use cluster::machine::MachineSpec;
+        use cluster::node::NodeRole;
+        let spec = ClusterSpec::new()
+            .with_node(
+                "sgx-a-tiny",
+                MachineSpec::sgx_node_with_usable_epc(ByteSize::from_kib(32)),
+                NodeRole::Worker,
+            )
+            .with_node(
+                "sgx-b-big",
+                MachineSpec::sgx_node_with_usable_epc(ByteSize::from_mib(93)),
+                NodeRole::Worker,
+            );
+        let mut orch = Orchestrator::new(spec, OrchestratorConfig::paper());
+        let uid = orch.submit(
+            PodSpec::builder("one-page")
+                .sgx_resources(ByteSize::from_kib(4))
+                .build(),
+            SimTime::ZERO,
+        );
+        orch.scheduler_pass(SimTime::from_secs(5));
+        assert!(matches!(
+            orch.record(uid).unwrap().outcome,
+            PodOutcome::Running { ref node } if node.as_str() == "sgx-a-tiny"
+        ));
+        assert!(orch.epc_imbalance() > 0.1);
+
+        let moves = orch.rebalance_epc(SimTime::from_secs(10), 0.1);
+        assert_eq!(moves.len(), 1, "the one-page pod must move");
+        assert_eq!(moves[0].to.as_str(), "sgx-b-big");
+        assert!(orch.epc_imbalance() <= 0.1);
+    }
+
+    #[test]
+    fn rebalance_terminates_when_no_move_improves() {
+        // Two tiny symmetric nodes with the pod already as balanced as a
+        // single move can make it: the one-page minimum gap now offers a
+        // candidate, but moving it would just mirror the imbalance. The
+        // strict-improvement guard must exit instead of ping-ponging the
+        // pod forever (the test completing *is* the termination proof).
+        use cluster::machine::MachineSpec;
+        use cluster::node::NodeRole;
+        let tiny = ByteSize::from_kib(32);
+        let spec = ClusterSpec::new()
+            .with_node(
+                "sgx-a",
+                MachineSpec::sgx_node_with_usable_epc(tiny),
+                NodeRole::Worker,
+            )
+            .with_node(
+                "sgx-b",
+                MachineSpec::sgx_node_with_usable_epc(tiny),
+                NodeRole::Worker,
+            );
+        let mut orch = Orchestrator::new(spec, OrchestratorConfig::paper());
+        orch.submit(
+            PodSpec::builder("one-page")
+                .sgx_resources(ByteSize::from_kib(4))
+                .build(),
+            SimTime::ZERO,
+        );
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let before = orch.epc_imbalance();
+        assert!(before > 0.1);
+        let moves = orch.rebalance_epc(SimTime::from_secs(10), 0.1);
+        assert!(moves.is_empty(), "no single move can improve 1 page vs 0");
+        assert_eq!(orch.epc_imbalance(), before);
+    }
+
+    #[test]
+    fn silenced_probes_degrade_the_node_view() {
+        let mut orch = orchestrator();
+        orch.submit(sgx_spec("hog", 60), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        orch.probe_pass(SimTime::from_secs(10));
+
+        // Fresh scrape: ages annotated, nothing degraded.
+        let view = orch.capture_view(SimTime::from_secs(12));
+        let sgx1 = view.node(&NodeName::new("sgx-1")).unwrap();
+        assert!(!sgx1.degraded);
+        assert_eq!(sgx1.metrics_age, Some(SimDuration::from_secs(2)));
+
+        // sgx-1's probes go silent while every other node keeps
+        // reporting; by t=100 its last scrape is 90 s old.
+        for name in ["sgx-2", "std-1", "std-2"] {
+            orch.last_scrape
+                .insert(NodeName::new(name), SimTime::from_secs(95));
+        }
+        let view = orch.capture_view(SimTime::from_secs(100));
+        let sgx1 = view.node(&NodeName::new("sgx-1")).unwrap();
+        assert!(sgx1.degraded);
+        assert_eq!(sgx1.metrics_age, Some(SimDuration::from_secs(90)));
+        assert!(!view.node(&NodeName::new("sgx-2")).unwrap().degraded);
+        assert_eq!(
+            orch.metrics_age(&NodeName::new("sgx-1"), SimTime::from_secs(100)),
+            Some(SimDuration::from_secs(90))
+        );
+    }
+
+    #[test]
+    fn degraded_scheduling_avoids_the_silent_node_and_counts_decisions() {
+        let mut orch = orchestrator();
+        orch.probe_pass(SimTime::from_secs(10));
+        // sgx-1 goes silent; the rest keep scraping.
+        for name in ["sgx-2", "std-1", "std-2"] {
+            orch.last_scrape
+                .insert(NodeName::new(name), SimTime::from_secs(100));
+        }
+        let uid = orch.submit(sgx_spec("late", 10), SimTime::from_secs(100));
+        assert_eq!(orch.degraded_decisions(), 0);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(105));
+        assert_eq!(outcomes.len(), 1);
+        // Binpack would normally start at sgx-1; degraded, it lands on
+        // the fresh node, and the decision is counted.
+        assert_eq!(outcomes[0].node.as_str(), "sgx-2");
+        assert!(matches!(
+            orch.record(uid).unwrap().outcome,
+            PodOutcome::Running { ref node } if node.as_str() == "sgx-2"
+        ));
+        assert_eq!(orch.degraded_decisions(), 1);
+    }
+
+    #[test]
+    fn scrape_frames_then_ingest_matches_probe_pass() {
+        let mut direct = orchestrator();
+        let mut framed = orchestrator();
+        for orch in [&mut direct, &mut framed] {
+            orch.submit(sgx_spec("a", 20), SimTime::ZERO);
+            orch.submit(sgx_spec("b", 30), SimTime::ZERO);
+            orch.scheduler_pass(SimTime::from_secs(5));
+        }
+        for tick in 1..=6u64 {
+            let now = SimTime::from_secs(tick * 10);
+            direct.probe_pass(now);
+            let frames = framed.scrape_frames(now);
+            for (node, batch) in &frames {
+                framed.ingest_frame(node, batch, now);
+            }
+            framed.enforce_metrics_retention(now);
+            assert_eq!(framed.db().snapshot(), direct.db().snapshot());
+            assert_eq!(framed.last_scrape, direct.last_scrape);
+        }
+        // Idle nodes' empty frames still refresh their freshness.
+        let frames = framed.scrape_frames(SimTime::from_secs(70));
+        assert!(frames
+            .iter()
+            .any(|(n, b)| n.as_str() == "std-1" && b.is_empty()));
+    }
+
+    #[test]
+    fn ingest_frame_never_rolls_freshness_backwards() {
+        let mut orch = orchestrator();
+        let node = NodeName::new("sgx-1");
+        let batch = PointBatch::new("memory/usage", "pod_name", SimTime::from_secs(10));
+        orch.ingest_frame(&node, &batch, SimTime::from_secs(50));
+        // A delayed frame sampled earlier arrives afterwards.
+        orch.ingest_frame(&node, &batch, SimTime::from_secs(20));
+        assert_eq!(
+            orch.metrics_age(&node, SimTime::from_secs(60)),
+            Some(SimDuration::from_secs(10))
+        );
     }
 
     #[test]

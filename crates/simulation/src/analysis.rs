@@ -156,6 +156,31 @@ pub fn total_migration_downtime_secs(result: &ReplayResult) -> f64 {
     result.migration_downtime().as_secs_f64()
 }
 
+/// Number of scheduling decisions bound while at least one node's
+/// metrics were stale (its view degraded to requests-only accounting).
+/// Zero on a healthy metrics pipeline.
+pub fn degraded_decisions(result: &ReplayResult) -> u64 {
+    result.degraded_decisions()
+}
+
+/// The fault injector's tally for the replay (all-zero counters when the
+/// configured [`FaultPlan`](crate::chaos::FaultPlan) was a no-op).
+pub fn fault_stats(result: &ReplayResult) -> &crate::chaos::FaultStats {
+    result.fault_stats()
+}
+
+/// Fraction of scraped probe frames that never reached the metrics
+/// store (silenced, dropped, or abandoned after retries); `0.0` for a
+/// fault-free replay.
+pub fn frame_loss_rate(result: &ReplayResult) -> f64 {
+    let stats = result.fault_stats();
+    if stats.frames_scraped == 0 {
+        return 0.0;
+    }
+    let lost = stats.frames_silenced + stats.frames_dropped + stats.frames_lost;
+    lost as f64 / stats.frames_scraped as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +289,28 @@ mod tests {
     fn zero_bucket_panics() {
         let r = result();
         let _ = waiting_by_request(&r, JobKind::Sgx, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn fault_helpers_are_zero_on_a_healthy_pipeline() {
+        let r = result();
+        assert_eq!(degraded_decisions(&r), 0);
+        assert!(fault_stats(&r).is_clean());
+        assert_eq!(frame_loss_rate(&r), 0.0);
+    }
+
+    #[test]
+    fn frame_loss_rate_reflects_injected_faults() {
+        let trace = GeneratorConfig::small(22).generate();
+        let workload = Workload::materialize(&trace, &WorkloadParams::paper(0.5, 22));
+        let config = ReplayConfig::paper(22)
+            .with_faults(crate::FaultPlan::none().with_seed(3).with_scrape_drops(0.4));
+        let r = replay(&workload, &config);
+        let rate = frame_loss_rate(&r);
+        assert!(rate > 0.0 && rate < 1.0, "loss rate {rate}");
+        assert_eq!(
+            fault_stats(&r).frames_dropped,
+            fault_stats(&r).frames_scraped - fault_stats(&r).frames_delivered
+        );
     }
 }

@@ -7,6 +7,8 @@ use des::SimDuration;
 use orchestrator::OrchestratorConfig;
 use sgx_sim::cost::CostModel;
 
+use crate::chaos::FaultPlan;
+
 /// The malicious-tenant scenario of §VI-F: one malicious pod per SGX node,
 /// each declaring a single EPC page but actually mapping `fraction` of its
 /// node's usable EPC.
@@ -129,6 +131,11 @@ pub struct ReplayConfig {
     pub rebalance: Option<RebalanceConfig>,
     /// Injected maintenance windows (drain → migrate away → uncordon).
     pub drains: Vec<NodeDrain>,
+    /// Fault injection on the probe→tsdb metrics pipeline (scrape drops,
+    /// probe silences, delayed frames, shard write failures). A
+    /// [`FaultPlan::is_noop`] plan makes the replay take the exact
+    /// lossless code path.
+    pub faults: FaultPlan,
     /// Hard cap on simulated time; replays that exceed it are marked
     /// timed out (guards against pathological configurations).
     pub max_sim_time: SimDuration,
@@ -147,8 +154,15 @@ impl ReplayConfig {
             failures: Vec::new(),
             rebalance: None,
             drains: Vec::new(),
+            faults: FaultPlan::none(),
             max_sim_time: SimDuration::from_hours(48),
         }
+    }
+
+    /// Injects metrics-pipeline faults.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Injects a node crash.
@@ -243,5 +257,20 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn rebalance_threshold_validated() {
         let _ = RebalanceConfig::every(SimDuration::from_secs(60), 0.0);
+    }
+
+    #[test]
+    fn fault_builder_composes_and_defaults_to_noop() {
+        let clean = ReplayConfig::paper(1);
+        assert!(clean.faults.is_noop());
+        let faulty = ReplayConfig::paper(1).with_faults(
+            FaultPlan::none()
+                .with_seed(5)
+                .with_scrape_drops(0.1)
+                .with_delays(0.2, SimDuration::from_secs(30)),
+        );
+        assert!(!faulty.faults.is_noop());
+        assert_eq!(faulty.faults.seed, 5);
+        assert_eq!(faulty.faults.scrape_drop_rate, 0.1);
     }
 }

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod sweep;
 
 mod config;
 mod replay;
 
+pub use chaos::{FaultInjector, FaultPlan, FaultStats, FrameFate, ProbeSilence};
 pub use config::{MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig};
 pub use replay::{replay, JobRun, ReplayResult};
 pub use sweep::{SweepJob, SweepProgress};

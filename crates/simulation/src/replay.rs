@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use borg_trace::{Workload, WorkloadJob};
-use cluster::api::{PodSpec, PodUid, ResourceRequirements, Resources};
+use cluster::api::{NodeName, PodSpec, PodUid, ResourceRequirements, Resources};
 use des::stats::TimeSeries;
 use des::{EventQueue, SimDuration, SimTime};
 use orchestrator::events::ClusterEvent;
@@ -11,6 +11,7 @@ use orchestrator::{Migration, Orchestrator, PodOutcome, PodRecord};
 use sgx_sim::units::ByteSize;
 use stress::Stressor;
 
+use crate::chaos::{FaultInjector, FaultStats, FrameFate};
 use crate::config::ReplayConfig;
 
 /// Events driving the replay.
@@ -42,6 +43,26 @@ enum Event {
     DrainNode(usize),
     /// The maintenance window closes: un-cordon the node.
     UncordonNode(usize),
+    /// A delayed or retried probe frame reaches the database (key into
+    /// the in-flight frame table). Only exists under fault injection:
+    /// un-delayed frames deliver inline during [`Event::ProbeTick`], so
+    /// a fault-free replay schedules none of these.
+    FrameDelivery(u64),
+}
+
+/// A probe frame held by the fault injector: encoded on the wire at
+/// scrape time, delivered (and decoded) later.
+#[derive(Debug, Clone)]
+struct InFlightFrame {
+    /// Node the frame was scraped from.
+    node: NodeName,
+    /// The wire-encoded [`tsdb::PointBatch`].
+    bytes: bytes::Bytes,
+    /// When the samples were taken — freshness and insert timestamps
+    /// follow this, not the delivery instant.
+    scraped_at: SimTime,
+    /// Delivery attempts so far (bounds the retry backoff).
+    attempts: u32,
 }
 
 /// One submitted pod with its provenance, after the replay.
@@ -74,6 +95,8 @@ pub struct ReplayResult {
     events: Vec<ClusterEvent>,
     end_time: SimTime,
     timed_out: bool,
+    fault_stats: FaultStats,
+    degraded_decisions: u64,
 }
 
 impl ReplayResult {
@@ -133,6 +156,20 @@ impl ReplayResult {
     /// `true` when the replay hit the configured time cap before draining.
     pub fn timed_out(&self) -> bool {
         self.timed_out
+    }
+
+    /// Tally of everything the fault injector did to the metrics
+    /// pipeline. All-zero when the configured
+    /// [`FaultPlan`](crate::chaos::FaultPlan) was a no-op.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Number of scheduling decisions the orchestrator bound while at
+    /// least one node's metrics were stale (requests-only fallback in
+    /// effect for the degraded nodes).
+    pub fn degraded_decisions(&self) -> u64 {
+        self.degraded_decisions
     }
 
     /// Number of pods that completed normally.
@@ -230,6 +267,13 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let mut sched_armed = true;
     let mut probe_armed = true;
     let mut rebalance_armed = config.rebalance.is_some();
+    // Fault injection: a no-op plan never constructs the injector, so
+    // the replay is structurally identical to the pre-chaos engine
+    // (bit-identity property-tested in tests/chaos_props.rs).
+    let mut injector =
+        (!config.faults.is_noop()).then(|| FaultInjector::new(config.faults.clone()));
+    let mut in_flight: BTreeMap<u64, InFlightFrame> = BTreeMap::new();
+    let mut next_frame_id = 0u64;
 
     while let Some((now, event)) = events.pop() {
         if now > cap {
@@ -304,12 +348,75 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                 }
             }
             Event::ProbeTick => {
-                orch.probe_pass(now);
+                match injector.as_mut() {
+                    None => orch.probe_pass(now),
+                    Some(chaos) => {
+                        // Faulted scrape: every frame is judged; surviving
+                        // frames deliver inline *now* (never via a
+                        // same-instant event, which would reorder against
+                        // coinciding scheduler ticks), delayed ones go
+                        // through the in-flight table.
+                        for (node, batch) in orch.scrape_frames(now) {
+                            match chaos.judge_frame(node.as_str(), now) {
+                                FrameFate::Silenced | FrameFate::Dropped => {}
+                                FrameFate::Deliver => {
+                                    let frame = InFlightFrame {
+                                        node,
+                                        bytes: tsdb::wire::encode_batch(&batch),
+                                        scraped_at: now,
+                                        attempts: 0,
+                                    };
+                                    deliver_frame(
+                                        &mut orch,
+                                        chaos,
+                                        &mut events,
+                                        &mut in_flight,
+                                        &mut next_frame_id,
+                                        frame,
+                                        now,
+                                    );
+                                }
+                                FrameFate::Delayed(delay) => {
+                                    let id = next_frame_id;
+                                    next_frame_id += 1;
+                                    in_flight.insert(
+                                        id,
+                                        InFlightFrame {
+                                            node,
+                                            bytes: tsdb::wire::encode_batch(&batch),
+                                            scraped_at: now,
+                                            attempts: 0,
+                                        },
+                                    );
+                                    events.schedule(now + delay, Event::FrameDelivery(id));
+                                }
+                            }
+                        }
+                        orch.enforce_metrics_retention(now);
+                    }
+                }
                 if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
                     events.schedule(now + probe_period, Event::ProbeTick);
                 } else {
                     probe_armed = false;
                 }
+            }
+            Event::FrameDelivery(id) => {
+                let frame = in_flight
+                    .remove(&id)
+                    .expect("frame deliveries reference in-flight frames");
+                let chaos = injector
+                    .as_mut()
+                    .expect("frame deliveries only exist under fault injection");
+                deliver_frame(
+                    &mut orch,
+                    chaos,
+                    &mut events,
+                    &mut in_flight,
+                    &mut next_frame_id,
+                    frame,
+                    now,
+                );
             }
             Event::PodFinish(uid, event_generation) => {
                 if generation.get(&uid).copied().unwrap_or(0) != event_generation {
@@ -401,6 +508,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
 
     let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids);
     let events = orch.events().iter().cloned().collect();
+    let degraded_decisions = orch.degraded_decisions();
+    let fault_stats = injector.map(FaultInjector::into_stats).unwrap_or_default();
     ReplayResult {
         runs,
         pending_epc_series,
@@ -411,6 +520,49 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         events,
         end_time,
         timed_out,
+        fault_stats,
+        degraded_decisions,
+    }
+}
+
+/// One delivery attempt of a probe frame against the metrics store.
+///
+/// The frame's write either succeeds (ingest under its *scrape*
+/// timestamp — late frames land out of time order) or fails per the
+/// injector's draw; failed writes re-enter the in-flight table with
+/// exponential backoff until the transport's retry budget runs out.
+fn deliver_frame(
+    orch: &mut Orchestrator,
+    chaos: &mut FaultInjector,
+    events: &mut EventQueue<Event>,
+    in_flight: &mut BTreeMap<u64, InFlightFrame>,
+    next_frame_id: &mut u64,
+    frame: InFlightFrame,
+    now: SimTime,
+) {
+    let batch = tsdb::wire::decode_batch(&frame.bytes)
+        .expect("probe frames round-trip through the wire format");
+    let shards = orch.db().shards_of_batch(&batch);
+    if chaos.draw_write_failure(&shards) {
+        match chaos.plan().retry.backoff_before(frame.attempts) {
+            Some(backoff) => {
+                chaos.note_retry();
+                let id = *next_frame_id;
+                *next_frame_id += 1;
+                in_flight.insert(
+                    id,
+                    InFlightFrame {
+                        attempts: frame.attempts + 1,
+                        ..frame
+                    },
+                );
+                events.schedule(now + backoff, Event::FrameDelivery(id));
+            }
+            None => chaos.note_lost(),
+        }
+    } else {
+        orch.ingest_frame(&frame.node, &batch, frame.scraped_at);
+        chaos.note_delivered();
     }
 }
 
@@ -742,6 +894,72 @@ mod tests {
             a.epc_imbalance_series().points(),
             b.epc_imbalance_series().points()
         );
+    }
+
+    #[test]
+    fn faulted_replay_still_reaches_terminal_states() {
+        let workload = small_workload(0.75);
+        let config = ReplayConfig::paper(21).with_faults(
+            crate::FaultPlan::none()
+                .with_seed(21)
+                .with_scrape_drops(0.3)
+                .with_delays(0.3, SimDuration::from_secs(40))
+                .with_write_failures(0.2)
+                .with_silence(crate::ProbeSilence {
+                    node: "sgx-1".to_string(),
+                    from_secs: 300,
+                    until_secs: 1500,
+                }),
+        );
+        let result = replay(&workload, &config);
+        assert!(!result.timed_out());
+        let terminal =
+            result.completed_count() + result.denied_count() + result.unschedulable_count();
+        assert_eq!(terminal, workload.len());
+        let stats = result.fault_stats();
+        assert!(stats.frames_scraped > 0);
+        assert!(stats.frames_silenced > 0);
+        assert!(stats.frames_dropped > 0);
+        assert!(stats.frames_delayed > 0);
+        // Every frame resolves exactly once: delayed frames are a
+        // transient state and end up delivered or lost too, so they do
+        // not appear in the terminal accounting.
+        assert_eq!(
+            stats.frames_scraped,
+            stats.frames_silenced
+                + stats.frames_dropped
+                + stats.frames_delivered
+                + stats.frames_lost
+        );
+        // A long silence on an SGX node forces degraded decisions.
+        assert!(result.degraded_decisions() > 0);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic() {
+        let workload = small_workload(0.5);
+        let config = ReplayConfig::paper(22).with_faults(
+            crate::FaultPlan::none()
+                .with_seed(9)
+                .with_scrape_drops(0.2)
+                .with_delays(0.4, SimDuration::from_secs(25))
+                .with_write_failures(0.3),
+        );
+        let a = replay(&workload, &config);
+        let b = replay(&workload, &config);
+        assert_eq!(a.runs(), b.runs());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.end_time(), b.end_time());
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert_eq!(a.degraded_decisions(), b.degraded_decisions());
+    }
+
+    #[test]
+    fn fault_free_replay_reports_clean_stats() {
+        let workload = small_workload(0.5);
+        let result = replay(&workload, &ReplayConfig::paper(23));
+        assert!(result.fault_stats().is_clean());
+        assert_eq!(result.fault_stats().frames_scraped, 0);
     }
 
     #[test]

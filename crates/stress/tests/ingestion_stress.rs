@@ -4,6 +4,10 @@
 //! channels to per-shard writer threads — while reader threads run the
 //! Listing-1 query concurrently. Afterwards the store must be
 //! bit-identical to a sequential oracle fed the same samples.
+//!
+//! A second variant runs the same topology through a deterministic
+//! fault schedule — dropped frames plus delayed frames that arrive out
+//! of time order — and checks the store still matches the oracle.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -126,6 +130,122 @@ fn threaded_batch_ingestion_survives_contention_and_matches_oracle() {
 
     // Retention under a fresh concurrent pass: evict everything older
     // than 100 s from both stores and stay identical.
+    let keep = SimDuration::from_secs(100);
+    assert_eq!(
+        db.enforce_retention(now, keep),
+        oracle.enforce_retention(now, keep)
+    );
+    assert_eq!(db.snapshot(), oracle.snapshot());
+}
+
+/// What the fault schedule does to node `node`'s pass-`pass` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    Deliver,
+    Dropped,
+    /// Held back three scrape passes, then delivered — out of time order
+    /// relative to the frames scraped in between.
+    Delayed,
+}
+
+/// Pure-function fault schedule: deterministic (no RNG, no state), so
+/// the concurrent run and the sequential oracle see the exact same
+/// drops and delays. Roughly 10 % of frames drop and 20 % delay.
+fn fate_for(node: usize, pass: usize) -> Fate {
+    let h = node.wrapping_mul(2_654_435_761) ^ pass.wrapping_mul(40_503);
+    match h % 10 {
+        0 => Fate::Dropped,
+        1 | 2 => Fate::Delayed,
+        _ => Fate::Deliver,
+    }
+}
+
+/// The order node `node`'s surviving frames reach the store: delayed
+/// frames are re-ranked three passes late, everything else keeps its
+/// scrape rank; the sort is stable, so equal ranks stay in scrape order.
+fn delivery_order(node: usize) -> Vec<usize> {
+    let mut ranked: Vec<(usize, usize)> = (0..PASSES)
+        .filter_map(|pass| match fate_for(node, pass) {
+            Fate::Dropped => None,
+            Fate::Deliver => Some((pass, pass)),
+            Fate::Delayed => Some((pass + 3, pass)),
+        })
+        .collect();
+    ranked.sort_by_key(|&(rank, _)| rank);
+    ranked.into_iter().map(|(_, pass)| pass).collect()
+}
+
+#[test]
+fn faulted_ingestion_with_delayed_frames_matches_oracle() {
+    let db = ShardedDatabase::new(SHARDS);
+    let select = listing1();
+
+    crossbeam::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(WRITERS);
+        for _ in 0..WRITERS {
+            let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(8);
+            senders.push(tx);
+            let db = &db;
+            scope.spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    db.insert_batch(&batch);
+                }
+            });
+        }
+
+        // Producers ship each of their nodes' frames in delivery order
+        // (drops omitted, delays re-ranked); a node sticks to one writer
+        // so its per-series delivery order is preserved end to end.
+        for offset in 0..WRITERS {
+            let senders = senders.clone();
+            scope.spawn(move || {
+                for node in (offset..NODES).step_by(WRITERS) {
+                    let writer = node % WRITERS;
+                    for pass in delivery_order(node) {
+                        senders[writer]
+                            .send(frame_for(node, pass))
+                            .expect("writer alive");
+                    }
+                }
+            });
+        }
+
+        drop(senders);
+    });
+
+    // Sequential oracle: same surviving frames, same per-node order.
+    let mut oracle = Database::new();
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut delayed = 0u64;
+    for node in 0..NODES {
+        for pass in delivery_order(node) {
+            oracle.insert_batch(&frame_for(node, pass));
+            delivered += 1;
+        }
+        for pass in 0..PASSES {
+            match fate_for(node, pass) {
+                Fate::Dropped => dropped += 1,
+                Fate::Delayed => delayed += 1,
+                Fate::Deliver => {}
+            }
+        }
+    }
+    assert!(dropped > 0, "schedule must drop frames");
+    assert!(delayed > 0, "schedule must delay frames");
+    assert_eq!(delivered, (NODES * PASSES) as u64 - dropped);
+
+    assert_eq!(db.points_inserted(), delivered * PODS_PER_NODE as u64);
+    assert_eq!(db.points_inserted(), oracle.points_inserted());
+    // Late frames really did land out of time order — and exactly as
+    // often concurrently as sequentially.
+    assert!(oracle.out_of_order_inserts() > 0, "no out-of-order inserts");
+    assert_eq!(db.out_of_order_inserts(), oracle.out_of_order_inserts());
+    assert_eq!(db.snapshot(), oracle.snapshot());
+
+    let now = SimTime::from_secs(10 * PASSES as u64);
+    assert_eq!(db.query(&select, now), oracle.query(&select, now));
+
     let keep = SimDuration::from_secs(100);
     assert_eq!(
         db.enforce_retention(now, keep),

@@ -104,6 +104,31 @@ impl ShardedDatabase {
         (hasher.finish() % self.shards.len() as u64) as usize
     }
 
+    /// The set of shards the rows of `batch` route to, sorted and
+    /// deduplicated — per-row routing identical to
+    /// [`insert_batch`](Self::insert_batch). Lets fault-injection layers
+    /// attribute a failed frame write to the shards it would have hit.
+    pub fn shards_of_batch(&self, batch: &PointBatch) -> Vec<usize> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        if self.shards.len() == 1 {
+            return vec![0];
+        }
+        let mut tags = batch.shared_tags().clone();
+        let mut shards: Vec<usize> = batch
+            .rows()
+            .iter()
+            .map(|row| {
+                set_tag(&mut tags, batch.row_tag_key(), &row.tag_value);
+                self.shard_of(batch.measurement(), &tags)
+            })
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
     /// Inserts a point through its series' shard. Takes `&self`: writers
     /// for different shards run concurrently.
     pub fn insert(&self, point: Point) {
@@ -525,6 +550,36 @@ mod tests {
         single.insert_batch(&batch);
         assert_eq!(sharded.snapshot(), single.snapshot());
         assert_eq!(sharded.points_inserted(), 20);
+    }
+
+    #[test]
+    fn shards_of_batch_matches_per_row_routing() {
+        let mut batch = PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(3))
+            .with_shared_tag("nodename", "n1");
+        for pod in 0..20 {
+            batch.push(format!("p{pod}"), pod as f64);
+        }
+        let db = ShardedDatabase::new(4);
+        let shards = db.shards_of_batch(&batch);
+        assert!(!shards.is_empty());
+        assert!(shards.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        // Every row's own shard is in the set, and nothing else is.
+        let mut expected: Vec<usize> = batch
+            .rows()
+            .iter()
+            .map(|row| {
+                let mut tags = batch.shared_tags().clone();
+                tags.insert("pod_name".to_string(), row.tag_value.clone());
+                db.shard_of(batch.measurement(), &tags)
+            })
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(shards, expected);
+        // Degenerate cases.
+        let empty = PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(3));
+        assert!(db.shards_of_batch(&empty).is_empty());
+        assert_eq!(ShardedDatabase::new(1).shards_of_batch(&batch), vec![0]);
     }
 
     #[test]
