@@ -1,5 +1,10 @@
-//! Placement-decision latency: binpack vs spread vs the stock scheduler,
+//! Placement-decision latency for every registered scheduling pipeline,
 //! as the cluster grows.
+//!
+//! Each sample snapshots nothing: the [`ClusterSnapshot`] is frozen once
+//! per cluster size and every iteration runs one `place()` through the
+//! pipeline's filter chain and score stages, mirroring what a scheduler
+//! pass pays per pending pod.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -9,12 +14,11 @@ use cluster::machine::MachineSpec;
 use cluster::node::NodeRole;
 use cluster::topology::{Cluster, ClusterSpec};
 use des::{SimDuration, SimTime};
-use orchestrator::metrics::ClusterView;
-use orchestrator::{PlacementPolicy, SchedulerKind};
+use orchestrator::{ClusterSnapshot, PolicyRegistry};
 use sgx_sim::units::ByteSize;
 use tsdb::Database;
 
-fn cluster_view(nodes: usize) -> ClusterView {
+fn snapshot(nodes: usize) -> ClusterSnapshot {
     let mut spec = ClusterSpec::new();
     for i in 0..nodes {
         let machine = if i % 2 == 0 {
@@ -25,7 +29,7 @@ fn cluster_view(nodes: usize) -> ClusterView {
         spec = spec.with_node(format!("node-{i:03}"), machine, NodeRole::Worker);
     }
     let cluster = Cluster::build(&spec);
-    ClusterView::capture(
+    ClusterSnapshot::capture(
         &cluster,
         &Database::new(),
         SimTime::from_secs(30),
@@ -41,23 +45,21 @@ fn bench_placement(c: &mut Criterion) {
         .memory_resources(ByteSize::from_gib(2))
         .build();
 
+    let registry = PolicyRegistry::builtin();
     let mut group = c.benchmark_group("placement_decision");
     for nodes in [4usize, 16, 64, 256] {
-        let view = cluster_view(nodes);
-        for (name, kind) in [
-            ("binpack", SchedulerKind::SgxAware(PlacementPolicy::Binpack)),
-            ("spread", SchedulerKind::SgxAware(PlacementPolicy::Spread)),
-            ("default", SchedulerKind::KubeDefault),
-        ] {
+        let snap = snapshot(nodes);
+        for name in registry.names() {
+            let pipeline = registry.by_name(&name).expect("listed names resolve");
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/sgx_pod"), nodes),
-                &view,
-                |b, view| b.iter(|| black_box(kind.place(black_box(&sgx_pod), view))),
+                snap.nodes(),
+                |b, nodes| b.iter(|| black_box(pipeline.place(black_box(&sgx_pod), nodes))),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/std_pod"), nodes),
-                &view,
-                |b, view| b.iter(|| black_box(kind.place(black_box(&std_pod), view))),
+                snap.nodes(),
+                |b, nodes| b.iter(|| black_box(pipeline.place(black_box(&std_pod), nodes))),
             );
         }
     }

@@ -242,7 +242,7 @@ impl GeneratorConfig {
         }
     }
 
-    /// Replay-grade preset: the same process as [`paper_scale`]
+    /// Replay-grade preset: the same process as [`paper_scale`](Self::paper_scale)
     /// (Fig. 5's 135k concurrency) with the horizon cut at the end of the
     /// replayed slice. Feeding it through the §VI-B pipeline (slice
     /// `[6480, 10080)`, keep every 1200th job) yields ≈3 800 jobs whose

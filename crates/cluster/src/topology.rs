@@ -135,6 +135,16 @@ impl Cluster {
         self.nodes.values().filter(|n| n.is_schedulable())
     }
 
+    /// All worker nodes in name order, **including cordoned ones** — the
+    /// set a scheduling snapshot captures, with cordon state carried as a
+    /// flag instead of by omission so filter plugins can reject (and
+    /// report on) cordoned nodes explicitly.
+    pub fn workers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .values()
+            .filter(|n| n.role() == crate::node::NodeRole::Worker)
+    }
+
     /// SGX-capable worker nodes, in name order.
     pub fn sgx_nodes(&self) -> impl Iterator<Item = &Node> {
         self.schedulable_nodes().filter(|n| n.has_sgx())

@@ -9,9 +9,11 @@
 //! ```text
 //! cargo run --release -p sgx-orchestrator --bin exp_chaos            # full sweep
 //! cargo run --release -p sgx-orchestrator --bin exp_chaos -- --smoke # CI-sized
+//! cargo run --release -p sgx-orchestrator --bin exp_chaos -- --list-policies
 //! ```
 
 use des::{SimDuration, SimTime};
+use orchestrator::PolicyRegistry;
 use sgx_orchestrator::Experiment;
 use simulation::{analysis, FaultPlan, ProbeSilence};
 
@@ -35,6 +37,10 @@ fn plan_at(rate: f64, seed: u64) -> FaultPlan {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--list-policies") {
+        print!("{}", PolicyRegistry::builtin().markdown_table());
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (seeds, rates): (Vec<u64>, Vec<f64>) = if smoke {
         (vec![41], vec![0.0, 0.2])

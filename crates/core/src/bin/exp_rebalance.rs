@@ -9,9 +9,11 @@
 //! ```text
 //! cargo run --release -p sgx-orchestrator --bin exp_rebalance            # full sweep
 //! cargo run --release -p sgx-orchestrator --bin exp_rebalance -- --smoke # CI-sized
+//! cargo run --release -p sgx-orchestrator --bin exp_rebalance -- --list-policies
 //! ```
 
 use des::{SimDuration, SimTime};
+use orchestrator::PolicyRegistry;
 use sgx_orchestrator::Experiment;
 use simulation::{analysis, RebalanceConfig, ReplayResult};
 
@@ -42,6 +44,10 @@ impl Mode {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--list-policies") {
+        print!("{}", PolicyRegistry::builtin().markdown_table());
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (seeds, thresholds): (Vec<u64>, Vec<f64>) = if smoke {
         (vec![41], vec![0.2])

@@ -185,8 +185,12 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
     let scheduler = args
         .flag_value("--scheduler")
         .unwrap_or_else(|| SGX_BINPACK.to_string());
-    if SchedulerKind::by_name(&scheduler).is_none() {
-        return usage_error(&format!("unknown scheduler `{scheduler}`"));
+    let registry = PolicyRegistry::builtin();
+    if !registry.contains(&scheduler) {
+        return usage_error(&format!(
+            "unknown scheduler `{scheduler}` (registered: {})",
+            registry.names().join(", ")
+        ));
     }
 
     let workload = Workload::materialize(&trace, &WorkloadParams::paper(ratio, seed));

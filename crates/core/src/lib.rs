@@ -22,7 +22,7 @@
 //! | substrate | [`borg_trace`] | calibrated synthetic Borg trace + §VI-B pipeline |
 //! | substrate | [`stress`] | STRESS-SGX workload models |
 //! | node side | [`cluster`] | machines, Kubelet, device plugin, probes |
-//! | master side | [`orchestrator`] | FCFS queue, metrics view, binpack/spread schedulers |
+//! | master side | [`orchestrator`] | FCFS queue, cluster snapshots, filter/score scheduling framework |
 //! | harness | [`simulation`] | discrete-event replay + analysis |
 //!
 //! ## Quickstart
@@ -75,8 +75,8 @@ pub mod prelude {
     pub use des::{SimDuration, SimTime};
     pub use orchestrator::billing::{Invoice, PriceSheet};
     pub use orchestrator::{
-        Orchestrator, OrchestratorConfig, PlacementPolicy, PodOutcome, SchedulerKind,
-        DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD,
+        ClusterSnapshot, Orchestrator, OrchestratorConfig, PodOutcome, PolicyPipeline,
+        PolicyRegistry, SchedulingCycle, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD,
     };
     pub use sgx_sim::attestation::{Aesm, Measurement, QuoteVerdict, Signer};
     pub use sgx_sim::migration::MigrationKey;

@@ -1,0 +1,33 @@
+//! Keeps the README's scheduler table generated from the registry.
+//!
+//! The table between the `registry-table` markers in `README.md` must be
+//! exactly what [`PolicyRegistry::markdown_table`] renders — the registry
+//! is the single source of truth for policy names and pipeline shapes,
+//! and the docs must not drift from it.
+
+use orchestrator::PolicyRegistry;
+
+#[test]
+fn readme_scheduler_table_matches_the_registry() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("README.md is readable");
+
+    let begin = "<!-- registry-table:begin -->\n";
+    let end = "<!-- registry-table:end -->";
+    let start = readme
+        .find(begin)
+        .expect("README.md contains the registry-table begin marker")
+        + begin.len();
+    let stop = readme[start..]
+        .find(end)
+        .map(|i| start + i)
+        .expect("README.md contains the registry-table end marker");
+
+    let expected = PolicyRegistry::builtin().markdown_table();
+    assert_eq!(
+        &readme[start..stop],
+        expected,
+        "README scheduler table is stale — regenerate it with \
+         `cargo run -p sgx-orchestrator --bin exp_chaos -- --list-policies`"
+    );
+}

@@ -1,0 +1,431 @@
+//! The kube-scheduler-style filter/score plugin framework.
+//!
+//! A scheduling decision flows `snapshot → filter → score → bind`:
+//!
+//! ```text
+//!   ClusterSnapshot ──► FilterPlugin chain ──► weighted ScorePlugins ──► bind
+//!   (immutable,          (feasibility: every     (ordered stages; higher
+//!    once per tick)       plugin must accept)     wins, compared stage by
+//!                                                 stage with f64::total_cmp,
+//!                                                 final tie-break: node name)
+//! ```
+//!
+//! * A [`FilterPlugin`] answers *can this node run this pod at all* — one
+//!   concern per plugin (cordon state, SGX capability, EPC fit, memory
+//!   fit), composed as a conjunction.
+//! * A [`ScorePlugin`] answers *how good is this feasible node* as an
+//!   `f64`. Stages are **ordered**: candidates are compared on the first
+//!   stage's (weight-scaled) score, later stages only break ties. This
+//!   keeps composition bit-deterministic — a weighted *sum* would let a
+//!   large high-priority term absorb low bits of a small one and
+//!   silently change which node wins.
+//! * All float comparisons go through [`f64::total_cmp`], and the final
+//!   tie-break — lowest node name — is centralized in
+//!   [`PolicyPipeline::place`], the only place that ever picks between
+//!   candidates.
+//!
+//! A [`PolicyPipeline`] names one composition of filters and score
+//! stages; the [`PolicyRegistry`](crate::PolicyRegistry) maps scheduler
+//! names to pipelines. A [`SchedulingCycle`] binds a pipeline-agnostic
+//! working state to one immutable [`ClusterSnapshot`] so a scheduling
+//! pass can account for its own in-pass reservations while every
+//! decision still reads from the same frozen world.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use cluster::api::{NodeName, PodSpec};
+
+use crate::metrics::NodeView;
+use crate::snapshot::ClusterSnapshot;
+
+/// A feasibility predicate: one concern of "can this node host this pod".
+///
+/// Filters must be pure functions of their arguments — the framework
+/// assumes calling them twice with the same inputs yields the same
+/// answer.
+pub trait FilterPlugin: fmt::Debug + Send + Sync {
+    /// Registered name of the filter (stable; used in docs and tables).
+    fn name(&self) -> &'static str;
+    /// `true` when `node` can feasibly host `spec`.
+    fn feasible(&self, spec: &PodSpec, name: &NodeName, node: &NodeView) -> bool;
+}
+
+/// Everything a score plugin may look at besides the candidate node:
+/// the pod being placed and the whole working node map (needed by
+/// relational scorers like spread, which rates a candidate by the load
+/// distribution across its peer group).
+#[derive(Debug)]
+pub struct ScoreContext<'a> {
+    /// The pod being placed.
+    pub spec: &'a PodSpec,
+    /// Every node of the cycle's working state, in name order, with
+    /// in-pass reservations applied.
+    pub nodes: &'a BTreeMap<NodeName, NodeView>,
+}
+
+/// A scoring dimension over feasible nodes; **higher is better**.
+///
+/// Scores must be pure functions of the context and candidate. They are
+/// only ever compared between nodes *within one placement*, so absolute
+/// magnitude carries no meaning across pods or cycles.
+pub trait ScorePlugin: fmt::Debug + Send + Sync {
+    /// Registered name of the scorer (stable; used in docs and tables).
+    fn name(&self) -> &'static str;
+    /// Scores the candidate; higher wins its stage.
+    fn score(&self, cx: &ScoreContext<'_>, name: &NodeName, node: &NodeView) -> f64;
+}
+
+/// One ordered scoring stage of a pipeline: a plugin and the weight its
+/// scores are scaled by (negative weights invert a stage's preference).
+#[derive(Debug, Clone)]
+pub struct ScoreStage {
+    plugin: Arc<dyn ScorePlugin>,
+    weight: f64,
+}
+
+impl ScoreStage {
+    /// The stage's plugin.
+    pub fn plugin(&self) -> &Arc<dyn ScorePlugin> {
+        &self.plugin
+    }
+
+    /// The stage's weight.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+/// A named composition of a filter chain and ordered score stages — what
+/// a scheduler name resolves to in the
+/// [`PolicyRegistry`](crate::PolicyRegistry).
+#[derive(Debug, Clone)]
+pub struct PolicyPipeline {
+    name: String,
+    filters: Vec<Arc<dyn FilterPlugin>>,
+    scorers: Vec<ScoreStage>,
+}
+
+impl PolicyPipeline {
+    /// Starts building a pipeline with the given registered name.
+    pub fn builder(name: impl Into<String>) -> PipelineBuilder {
+        PipelineBuilder {
+            pipeline: PolicyPipeline {
+                name: name.into(),
+                filters: Vec::new(),
+                scorers: Vec::new(),
+            },
+        }
+    }
+
+    /// The name this pipeline registers under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The filter chain, in evaluation order.
+    pub fn filters(&self) -> &[Arc<dyn FilterPlugin>] {
+        &self.filters
+    }
+
+    /// The score stages, in priority order.
+    pub fn scorers(&self) -> &[ScoreStage] {
+        &self.scorers
+    }
+
+    /// Runs the filter chain: `true` iff every filter accepts.
+    pub fn feasible(&self, spec: &PodSpec, name: &NodeName, node: &NodeView) -> bool {
+        self.filters.iter().all(|f| f.feasible(spec, name, node))
+    }
+
+    /// The centralized selection step: picks the best feasible node, or
+    /// `None` when nothing fits right now.
+    ///
+    /// Candidates are compared stage by stage on their weight-scaled
+    /// scores via [`f64::total_cmp`]; a candidate replaces the incumbent
+    /// only when *strictly* better, and `nodes` iterates in name order,
+    /// so full ties resolve to the lowest node name. This is the only
+    /// place in the framework that chooses between nodes.
+    pub fn place(&self, spec: &PodSpec, nodes: &BTreeMap<NodeName, NodeView>) -> Option<NodeName> {
+        let cx = ScoreContext { spec, nodes };
+        let mut best: Option<(Vec<f64>, &NodeName)> = None;
+        for (name, node) in nodes {
+            if !self.feasible(spec, name, node) {
+                continue;
+            }
+            let scores: Vec<f64> = self
+                .scorers
+                .iter()
+                .map(|stage| stage.weight * stage.plugin.score(&cx, name, node))
+                .collect();
+            let strictly_better = match &best {
+                None => true,
+                Some((incumbent, _)) => lex_gt(&scores, incumbent),
+            };
+            if strictly_better {
+                best = Some((scores, name));
+            }
+        }
+        best.map(|(_, name)| name.clone())
+    }
+}
+
+/// `true` when `a` beats `b` lexicographically under `total_cmp`.
+fn lex_gt(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "stage count is fixed per pipeline");
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    false
+}
+
+/// Builder for [`PolicyPipeline`].
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    pipeline: PolicyPipeline,
+}
+
+impl PipelineBuilder {
+    /// Appends a filter to the chain.
+    #[must_use]
+    pub fn filter(mut self, filter: impl FilterPlugin + 'static) -> Self {
+        self.pipeline.filters.push(Arc::new(filter));
+        self
+    }
+
+    /// Appends a score stage with weight `1.0`.
+    #[must_use]
+    pub fn score(self, plugin: impl ScorePlugin + 'static) -> Self {
+        self.weighted_score(plugin, 1.0)
+    }
+
+    /// Appends a score stage with an explicit weight.
+    #[must_use]
+    pub fn weighted_score(mut self, plugin: impl ScorePlugin + 'static, weight: f64) -> Self {
+        self.pipeline.scorers.push(ScoreStage {
+            plugin: Arc::new(plugin),
+            weight,
+        });
+        self
+    }
+
+    /// Finishes the pipeline.
+    pub fn build(self) -> PolicyPipeline {
+        self.pipeline
+    }
+}
+
+/// One scheduling cycle: an immutable [`ClusterSnapshot`] plus the
+/// working node state that accumulates in-pass reservations, so pods
+/// placed earlier in the same pass occupy capacity for later ones.
+///
+/// The cycle is pipeline-agnostic: with per-pod scheduler routing,
+/// different pods of one pass may place through different pipelines, but
+/// all of them read and reserve against the same working state.
+#[derive(Debug, Clone)]
+pub struct SchedulingCycle {
+    snapshot: ClusterSnapshot,
+    working: BTreeMap<NodeName, NodeView>,
+}
+
+impl SchedulingCycle {
+    /// Opens a cycle over a snapshot. The working state starts as an
+    /// exact copy of the snapshot's nodes.
+    pub fn new(snapshot: ClusterSnapshot) -> Self {
+        let working = snapshot.nodes().clone();
+        SchedulingCycle { snapshot, working }
+    }
+
+    /// The frozen snapshot this cycle was opened on.
+    pub fn snapshot(&self) -> &ClusterSnapshot {
+        &self.snapshot
+    }
+
+    /// The working view of one node (in-pass reservations applied).
+    pub fn node(&self, name: &NodeName) -> Option<&NodeView> {
+        self.working.get(name)
+    }
+
+    /// Places `spec` through `pipeline` against the working state.
+    pub fn place(&self, pipeline: &PolicyPipeline, spec: &PodSpec) -> Option<NodeName> {
+        pipeline.place(spec, &self.working)
+    }
+
+    /// Registers an in-pass reservation so later placements of this
+    /// cycle see the node as fuller. Unknown names are ignored.
+    pub fn reserve(&mut self, name: &NodeName, spec: &PodSpec) {
+        if let Some(view) = self.working.get_mut(name) {
+            view.reserve(spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CordonFilter, EpcFitFilter, MemoryFitFilter, SgxCapableFilter};
+    use cluster::topology::{Cluster, ClusterSpec};
+    use des::{SimDuration, SimTime};
+    use sgx_sim::units::ByteSize;
+    use tsdb::Database;
+
+    #[derive(Debug)]
+    struct ConstScore(f64);
+    impl ScorePlugin for ConstScore {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn score(&self, _: &ScoreContext<'_>, _: &NodeName, _: &NodeView) -> f64 {
+            self.0
+        }
+    }
+
+    fn snapshot() -> ClusterSnapshot {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        ClusterSnapshot::capture(
+            &cluster,
+            &Database::new(),
+            SimTime::ZERO,
+            SimDuration::from_secs(25),
+        )
+    }
+
+    fn fit_pipeline() -> PolicyPipeline {
+        PolicyPipeline::builder("test-fit")
+            .filter(CordonFilter)
+            .filter(SgxCapableFilter)
+            .filter(MemoryFitFilter::effective())
+            .filter(EpcFitFilter::effective())
+            .score(ConstScore(1.0))
+            .build()
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_node_name() {
+        let pipeline = fit_pipeline();
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        // Constant scores everywhere: the first feasible node by name wins.
+        let chosen = pipeline.place(&pod, snapshot().nodes()).unwrap();
+        assert_eq!(chosen.as_str(), "sgx-1");
+    }
+
+    #[test]
+    fn stage_order_dominates_later_stages() {
+        let mut nodes = snapshot().nodes().clone();
+        // Give sgx-2 a worse first-stage score but a huge second-stage one.
+        #[derive(Debug)]
+        struct NamePenalty;
+        impl ScorePlugin for NamePenalty {
+            fn name(&self) -> &'static str {
+                "name-penalty"
+            }
+            fn score(&self, _: &ScoreContext<'_>, name: &NodeName, _: &NodeView) -> f64 {
+                if name.as_str() == "sgx-2" {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        #[derive(Debug)]
+        struct BigBonus;
+        impl ScorePlugin for BigBonus {
+            fn name(&self) -> &'static str {
+                "big-bonus"
+            }
+            fn score(&self, _: &ScoreContext<'_>, name: &NodeName, _: &NodeView) -> f64 {
+                if name.as_str() == "sgx-2" {
+                    1e9
+                } else {
+                    0.0
+                }
+            }
+        }
+        let pipeline = PolicyPipeline::builder("lex")
+            .filter(SgxCapableFilter)
+            .filter(EpcFitFilter::effective())
+            .score(NamePenalty)
+            .score(BigBonus)
+            .build();
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        nodes.retain(|_, v| v.has_sgx());
+        // The first stage already separates the candidates, so the huge
+        // second-stage bonus never gets a say.
+        assert_eq!(pipeline.place(&pod, &nodes).unwrap().as_str(), "sgx-1");
+    }
+
+    #[test]
+    fn negative_weight_inverts_a_stage() {
+        #[derive(Debug)]
+        struct NameRank;
+        impl ScorePlugin for NameRank {
+            fn name(&self) -> &'static str {
+                "name-rank"
+            }
+            fn score(&self, _: &ScoreContext<'_>, name: &NodeName, _: &NodeView) -> f64 {
+                if name.as_str() == "sgx-2" {
+                    2.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        let prefer_high = PolicyPipeline::builder("hi")
+            .filter(SgxCapableFilter)
+            .score(NameRank)
+            .build();
+        let prefer_low = PolicyPipeline::builder("lo")
+            .filter(SgxCapableFilter)
+            .weighted_score(NameRank, -1.0)
+            .build();
+        let nodes = snapshot().nodes().clone();
+        assert_eq!(prefer_high.place(&pod, &nodes).unwrap().as_str(), "sgx-2");
+        assert_eq!(prefer_low.place(&pod, &nodes).unwrap().as_str(), "sgx-1");
+    }
+
+    #[test]
+    fn cycle_reservations_affect_later_placements() {
+        let pipeline = fit_pipeline();
+        let mut cycle = SchedulingCycle::new(snapshot());
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(60))
+            .build();
+        let first = cycle.place(&pipeline, &pod).unwrap();
+        assert_eq!(first.as_str(), "sgx-1");
+        cycle.reserve(&first, &pod);
+        // 60 of 93.5 MiB reserved: the second pod no longer fits sgx-1.
+        let second = cycle.place(&pipeline, &pod).unwrap();
+        assert_eq!(second.as_str(), "sgx-2");
+        // The underlying snapshot is untouched.
+        assert_eq!(
+            cycle.snapshot().node(&first).unwrap().epc_requested.count(),
+            0
+        );
+    }
+
+    #[test]
+    fn empty_scorer_list_is_first_feasible_by_name() {
+        let pipeline = PolicyPipeline::builder("bare")
+            .filter(SgxCapableFilter)
+            .build();
+        let pod = PodSpec::builder("p")
+            .memory_resources(ByteSize::from_gib(1))
+            .build();
+        assert_eq!(
+            pipeline.place(&pod, snapshot().nodes()).unwrap().as_str(),
+            "sgx-1"
+        );
+    }
+}

@@ -3,15 +3,17 @@
 //!
 //! The orchestrator sits on the master node. Users submit pod
 //! specifications (§IV step Ê); submissions land in a persistent FCFS
-//! [`queue`]; a periodic scheduling pass fetches the pending jobs,
-//! combines their declared requests with **measured** usage from the
-//! time-series database ([`metrics`], the Listing 1 sliding-window query),
-//! filters infeasible job–node combinations, applies a placement
-//! [`policy`] (binpack or spread, both SGX-aware), and binds pods to nodes
-//! where the Kubelet starts them.
+//! [`queue`]; each scheduling pass freezes an immutable
+//! [`ClusterSnapshot`] ([`snapshot`]) combining declared requests with
+//! **measured** usage from the time-series database ([`metrics`], the
+//! Listing 1 sliding-window query), then opens a [`SchedulingCycle`]
+//! ([`framework`]) that runs each pending pod through a `FilterPlugin`
+//! chain and weighted `ScorePlugin` stages before binding it to the
+//! winning node.
 //!
-//! Three [`scheduler`]s are provided, mirroring the paper's deployment of
-//! multiple schedulers side by side (§V-B):
+//! Three pipelines ship in the [`PolicyRegistry`] ([`registry`]),
+//! mirroring the paper's deployment of multiple schedulers side by side
+//! (§V-B); their concrete plugins live in [`policy`]:
 //!
 //! | name          | filter basis                   | policy            |
 //! |---------------|--------------------------------|-------------------|
@@ -44,14 +46,20 @@
 
 pub mod billing;
 pub mod events;
+pub mod framework;
 pub mod metrics;
 pub mod policy;
 pub mod queue;
-pub mod scheduler;
+pub mod registry;
+pub mod snapshot;
 
 mod server;
 
-pub use policy::PlacementPolicy;
+pub use framework::{
+    FilterPlugin, PipelineBuilder, PolicyPipeline, SchedulingCycle, ScoreContext, ScorePlugin,
+    ScoreStage,
+};
 pub use queue::{PendingPod, PendingQueue};
-pub use scheduler::{SchedulerKind, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};
+pub use registry::{PolicyRegistry, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};
 pub use server::{BindOutcome, Migration, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord};
+pub use snapshot::ClusterSnapshot;

@@ -54,6 +54,12 @@ pub struct NodeView {
     /// node's measurements can no longer be trusted and occupancy falls
     /// back to requests-only accounting.
     pub degraded: bool,
+    /// `true` while the node is cordoned (e.g. mid-drain). A
+    /// [`ClusterView`] only ever captures schedulable nodes, so the flag
+    /// stays `false` there; [`ClusterSnapshot`](crate::ClusterSnapshot)s
+    /// capture cordoned workers too and rely on the cordon filter plugin
+    /// to keep placements off them.
+    pub cordoned: bool,
 }
 
 impl NodeView {
@@ -173,7 +179,7 @@ impl ClusterView {
     /// Like [`capture`](Self::capture), but runs the Listing-1 queries
     /// through a [`WindowedCache`], so a scheduling tick only pays for the
     /// samples that entered or left the 25 s window since the previous
-    /// tick. Results are bit-for-bit identical to [`capture`].
+    /// tick. Results are bit-for-bit identical to [`capture`](Self::capture).
     pub fn capture_cached<S: SeriesStore + ?Sized>(
         cluster: &Cluster,
         db: &S,
@@ -214,6 +220,7 @@ impl ClusterView {
                         .unwrap_or(ByteSize::ZERO),
                     metrics_age: None,
                     degraded: false,
+                    cordoned: false,
                 };
                 (name, view)
             })
@@ -222,8 +229,10 @@ impl ClusterView {
     }
 
     /// Executes the Listing 1 aggregation for one measurement: per-pod MAX
-    /// over the window, summed per node.
-    fn measured(
+    /// over the window, summed per node. Shared with
+    /// [`ClusterSnapshot`](crate::ClusterSnapshot) capture so both read
+    /// paths run bit-identical queries.
+    pub(crate) fn measured(
         measurement: &str,
         now: SimTime,
         window: SimDuration,

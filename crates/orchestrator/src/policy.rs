@@ -1,119 +1,259 @@
-//! SGX-aware placement policies: binpack and spread (§IV).
+//! The concrete filter and score plugins the built-in pipelines compose
+//! (§IV).
 //!
-//! Both policies place standard jobs on non-SGX nodes whenever possible,
-//! "to preserve their resources for SGX-enabled jobs" — SGX nodes are a
-//! fallback of last resort for standard work. The policies only differ in
-//! how they choose among feasible nodes:
+//! The paper's two SGX-aware strategies decompose cleanly onto the
+//! [`framework`](crate::framework):
 //!
 //! * **binpack** — walk the nodes in a fixed, consistent order and fill
-//!   the first node until its resources become insufficient, then advance.
+//!   the first node until its resources become insufficient, then
+//!   advance. The fixed order is exactly the framework's centralized
+//!   name tie-break, layered under [`SgxPreserveScore`] (standard pods
+//!   keep off SGX nodes) and [`FreshBeforeDegradedScore`] (PR 4's
+//!   staleness ordering) — so binpack needs no load scorer at all.
 //! * **spread** — pick the placement that yields the smallest standard
-//!   deviation of load across the candidate nodes.
-
-use serde::{Deserialize, Serialize};
+//!   deviation of load across the candidate's peer group
+//!   ([`SpreadScore`]), under the same two ordering stages.
+//! * **least-requested** — the stock Kubernetes behaviour: requests-only
+//!   feasibility and the least requested-fraction of the pod's primary
+//!   resource ([`LeastRequestedScore`]), blind to measured usage,
+//!   staleness and SGX preservation.
+//!
+//! Feasibility plugins come in two accounting bases
+//! ([`OccupancyBasis`]): the SGX-aware pipelines filter on **effective**
+//! occupancy (`max(measured, requested)`, requests-only when degraded),
+//! the stock pipeline on **requests** alone.
 
 use cluster::api::{NodeName, PodSpec};
 
-use crate::metrics::ClusterView;
+use crate::framework::{FilterPlugin, ScoreContext, ScorePlugin};
+use crate::metrics::NodeView;
 
-/// The two SGX-aware placement strategies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum PlacementPolicy {
-    /// Fill nodes one after another in a consistent order.
-    Binpack,
-    /// Even out load across nodes.
-    Spread,
+/// Which occupancy accounting a feasibility filter reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyBasis {
+    /// `max(measured, requested)` — requests-only when the node is
+    /// degraded. What the paper's SGX-aware schedulers filter on.
+    Effective,
+    /// Admitted requests only — the stock Kubernetes criterion.
+    RequestsOnly,
 }
 
-impl std::fmt::Display for PlacementPolicy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlacementPolicy::Binpack => f.write_str("binpack"),
-            PlacementPolicy::Spread => f.write_str("spread"),
+/// Rejects cordoned (draining) nodes.
+///
+/// [`ClusterSnapshot`](crate::ClusterSnapshot)s capture cordoned workers
+/// with their flag set instead of omitting them, so this filter is what
+/// actually keeps placements — including drain and rebalance targets —
+/// off nodes under maintenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CordonFilter;
+
+impl FilterPlugin for CordonFilter {
+    fn name(&self) -> &'static str {
+        "cordon"
+    }
+    fn feasible(&self, _spec: &PodSpec, _name: &NodeName, node: &NodeView) -> bool {
+        !node.cordoned
+    }
+}
+
+/// Rejects nodes without SGX for pods that request EPC pages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SgxCapableFilter;
+
+impl FilterPlugin for SgxCapableFilter {
+    fn name(&self) -> &'static str {
+        "sgx-capable"
+    }
+    fn feasible(&self, spec: &PodSpec, _name: &NodeName, node: &NodeView) -> bool {
+        !spec.resources.requests.needs_sgx() || node.has_sgx()
+    }
+}
+
+/// EPC-capacity feasibility: the pod's requested pages must fit the
+/// node's free EPC under the configured [`OccupancyBasis`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpcFitFilter {
+    basis: OccupancyBasis,
+}
+
+impl EpcFitFilter {
+    /// Effective-occupancy variant (measured ∨ requests).
+    pub fn effective() -> Self {
+        EpcFitFilter {
+            basis: OccupancyBasis::Effective,
+        }
+    }
+    /// Requests-only variant.
+    pub fn requests_only() -> Self {
+        EpcFitFilter {
+            basis: OccupancyBasis::RequestsOnly,
         }
     }
 }
 
-impl PlacementPolicy {
-    /// Chooses a node for `spec` from the view, or `None` when nothing
-    /// fits right now.
-    ///
-    /// SGX-awareness: for standard pods the candidate list is partitioned
-    /// into non-SGX nodes first and SGX nodes last (binpack) or considered
-    /// non-SGX-only unless none fit (spread).
-    pub fn place(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
-        match self {
-            PlacementPolicy::Binpack => self.place_binpack(spec, view),
-            PlacementPolicy::Spread => self.place_spread(spec, view),
+impl FilterPlugin for EpcFitFilter {
+    fn name(&self) -> &'static str {
+        match self.basis {
+            OccupancyBasis::Effective => "epc-fit",
+            OccupancyBasis::RequestsOnly => "epc-fit(requests)",
         }
     }
-
-    fn place_binpack(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
-        // Consistent node order: non-SGX nodes (by name) before SGX nodes
-        // (by name); the view iterates in name order already. Within each
-        // group, nodes with fresh metrics come before degraded ones — a
-        // node whose probes went silent is only a last resort. With no
-        // degraded nodes the order is identical to the plain partition.
-        let (sgx_nodes, standard_nodes): (Vec<_>, Vec<_>) =
-            view.iter().partition(|(_, v)| v.has_sgx());
-        let (std_degraded, std_fresh): (Vec<_>, Vec<_>) =
-            standard_nodes.into_iter().partition(|(_, v)| v.degraded);
-        let (sgx_degraded, sgx_fresh): (Vec<_>, Vec<_>) =
-            sgx_nodes.into_iter().partition(|(_, v)| v.degraded);
-        std_fresh
-            .into_iter()
-            .chain(std_degraded)
-            .chain(sgx_fresh)
-            .chain(sgx_degraded)
-            .find(|(_, v)| v.fits(spec))
-            .map(|(name, _)| name.clone())
+    fn feasible(&self, spec: &PodSpec, _name: &NodeName, node: &NodeView) -> bool {
+        let req = spec.resources.requests.epc_pages;
+        match self.basis {
+            OccupancyBasis::Effective => req <= node.epc_free(),
+            OccupancyBasis::RequestsOnly => {
+                req <= node.epc_capacity.saturating_sub(node.epc_requested)
+            }
+        }
     }
+}
 
-    fn place_spread(&self, spec: &PodSpec, view: &ClusterView) -> Option<NodeName> {
-        // Candidate tiers: for standard pods, try non-SGX nodes first and
-        // fall back to SGX nodes only when no other choice exists. SGX
-        // pods have a single tier (SGX nodes). Each tier is further split
-        // fresh-before-degraded, so silenced-probe nodes are considered
-        // only when every fresh node of the tier is full; with no degraded
-        // nodes the fresh sub-tier is the whole tier, unchanged.
-        let tiers: Vec<Vec<(&NodeName, &crate::metrics::NodeView)>> = if spec.needs_sgx() {
-            let (degraded, fresh): (Vec<_>, Vec<_>) = view
-                .iter()
-                .filter(|(_, v)| v.has_sgx())
-                .partition(|(_, v)| v.degraded);
-            vec![fresh, degraded]
+/// Standard-resource (memory) feasibility under the configured
+/// [`OccupancyBasis`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryFitFilter {
+    basis: OccupancyBasis,
+}
+
+impl MemoryFitFilter {
+    /// Effective-occupancy variant (measured ∨ requests).
+    pub fn effective() -> Self {
+        MemoryFitFilter {
+            basis: OccupancyBasis::Effective,
+        }
+    }
+    /// Requests-only variant.
+    pub fn requests_only() -> Self {
+        MemoryFitFilter {
+            basis: OccupancyBasis::RequestsOnly,
+        }
+    }
+}
+
+impl FilterPlugin for MemoryFitFilter {
+    fn name(&self) -> &'static str {
+        match self.basis {
+            OccupancyBasis::Effective => "mem-fit",
+            OccupancyBasis::RequestsOnly => "mem-fit(requests)",
+        }
+    }
+    fn feasible(&self, spec: &PodSpec, _name: &NodeName, node: &NodeView) -> bool {
+        let req = spec.resources.requests.memory;
+        match self.basis {
+            OccupancyBasis::Effective => req <= node.memory_free(),
+            OccupancyBasis::RequestsOnly => {
+                req <= node.memory_capacity.saturating_sub(node.memory_requested)
+            }
+        }
+    }
+}
+
+/// SGX preservation (§IV): standard jobs go to non-SGX nodes whenever
+/// possible, "to preserve their resources for SGX-enabled jobs" — SGX
+/// nodes score `0.0`, others `1.0`. For SGX pods every feasible node is
+/// an SGX node, so the stage is a constant and decides nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SgxPreserveScore;
+
+impl ScorePlugin for SgxPreserveScore {
+    fn name(&self) -> &'static str {
+        "sgx-preserve"
+    }
+    fn score(&self, _cx: &ScoreContext<'_>, _name: &NodeName, node: &NodeView) -> f64 {
+        if node.has_sgx() {
+            0.0
         } else {
-            let (sgx, standard): (Vec<_>, Vec<_>) = view.iter().partition(|(_, v)| v.has_sgx());
-            let (std_degraded, std_fresh): (Vec<_>, Vec<_>) =
-                standard.into_iter().partition(|(_, v)| v.degraded);
-            let (sgx_degraded, sgx_fresh): (Vec<_>, Vec<_>) =
-                sgx.into_iter().partition(|(_, v)| v.degraded);
-            vec![std_fresh, std_degraded, sgx_fresh, sgx_degraded]
-        };
-
-        for tier in tiers {
-            let feasible: Vec<_> = tier.iter().filter(|(_, v)| v.fits(spec)).collect();
-            if feasible.is_empty() {
-                continue;
-            }
-            // For each feasible node, the stddev of load across the whole
-            // tier if the pod were placed there; smallest wins, ties by
-            // node name (deterministic).
-            let best = feasible.iter().min_by(|a, b| {
-                let sa = load_stddev_with_placement(&tier, a.0, spec);
-                let sb = load_stddev_with_placement(&tier, b.0, spec);
-                sa.total_cmp(&sb).then_with(|| a.0.cmp(b.0))
-            });
-            if let Some((name, _)) = best {
-                return Some((*name).clone());
-            }
+            1.0
         }
-        None
     }
 }
 
+/// PR 4's staleness ordering: nodes with fresh metrics score `1.0`,
+/// degraded ones `0.0` — a node whose probes went silent is only a last
+/// resort, never unschedulable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreshBeforeDegradedScore;
+
+impl ScorePlugin for FreshBeforeDegradedScore {
+    fn name(&self) -> &'static str {
+        "fresh-first"
+    }
+    fn score(&self, _cx: &ScoreContext<'_>, _name: &NodeName, node: &NodeView) -> f64 {
+        if node.degraded {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The spread criterion: the negated standard deviation of load across
+/// the candidate's **peer group** — all non-cordoned nodes sharing the
+/// candidate's `(has_sgx, degraded)` partition — if the pod were placed
+/// on the candidate. Placements that flatten the group score higher.
+///
+/// The group deliberately includes infeasible peers: a nearly-full node
+/// still shapes the distribution the paper's spread policy balances.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpreadScore;
+
+impl ScorePlugin for SpreadScore {
+    fn name(&self) -> &'static str {
+        "spread"
+    }
+    fn score(&self, cx: &ScoreContext<'_>, name: &NodeName, node: &NodeView) -> f64 {
+        let tier: Vec<(&NodeName, &NodeView)> = cx
+            .nodes
+            .iter()
+            .filter(|(_, v)| {
+                !v.cordoned && v.has_sgx() == node.has_sgx() && v.degraded == node.degraded
+            })
+            .collect();
+        -load_stddev_with_placement(&tier, name, cx.spec)
+    }
+}
+
+/// The stock scheduler's criterion: the negated requested-fraction of
+/// the pod's primary resource (EPC pages for SGX pods, memory
+/// otherwise). Least-requested scores highest; nodes lacking the
+/// resource entirely count as full.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastRequestedScore;
+
+impl ScorePlugin for LeastRequestedScore {
+    fn name(&self) -> &'static str {
+        "least-requested"
+    }
+    fn score(&self, cx: &ScoreContext<'_>, _name: &NodeName, node: &NodeView) -> f64 {
+        -requested_fraction(node, cx.spec)
+    }
+}
+
+fn requested_fraction(view: &NodeView, spec: &PodSpec) -> f64 {
+    if spec.needs_sgx() {
+        let cap = view.epc_capacity.count();
+        if cap == 0 {
+            1.0
+        } else {
+            view.epc_requested.count() as f64 / cap as f64
+        }
+    } else {
+        let cap = view.memory_capacity.as_bytes();
+        if cap == 0 {
+            1.0
+        } else {
+            view.memory_requested.as_bytes() as f64 / cap as f64
+        }
+    }
+}
+
+/// Population standard deviation of the group's load fractions with the
+/// pod hypothetically placed on `chosen`. `tier` must iterate in name
+/// order (it always does — it is drawn from a `BTreeMap`), so the float
+/// summation order is deterministic.
 fn load_stddev_with_placement(
-    tier: &[(&NodeName, &crate::metrics::NodeView)],
+    tier: &[(&NodeName, &NodeView)],
     chosen: &NodeName,
     spec: &PodSpec,
 ) -> f64 {
@@ -128,19 +268,37 @@ fn load_stddev_with_placement(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::SchedulingCycle;
+    use crate::registry::{PolicyRegistry, SGX_BINPACK, SGX_SPREAD};
+    use crate::snapshot::ClusterSnapshot;
     use cluster::topology::{Cluster, ClusterSpec};
     use des::{SimDuration, SimTime};
     use sgx_sim::units::{ByteSize, EpcPages};
+    use std::collections::BTreeMap;
     use tsdb::Database;
 
-    fn empty_view() -> ClusterView {
+    fn empty_nodes() -> BTreeMap<NodeName, NodeView> {
         let cluster = Cluster::build(&ClusterSpec::paper_cluster());
-        ClusterView::capture(
+        ClusterSnapshot::capture(
             &cluster,
             &Database::new(),
             SimTime::ZERO,
             SimDuration::from_secs(25),
         )
+        .nodes()
+        .clone()
+    }
+
+    fn annotate(
+        nodes: &mut BTreeMap<NodeName, NodeView>,
+        threshold: SimDuration,
+        age_of: impl Fn(&NodeName) -> Option<SimDuration>,
+    ) {
+        for (name, view) in nodes.iter_mut() {
+            let age = age_of(name);
+            view.metrics_age = age;
+            view.degraded = age.is_some_and(|a| a > threshold);
+        }
     }
 
     fn sgx_pod(mib: u64) -> PodSpec {
@@ -155,122 +313,136 @@ mod tests {
             .build()
     }
 
+    fn place(
+        policy: &str,
+        spec: &PodSpec,
+        nodes: &BTreeMap<NodeName, NodeView>,
+    ) -> Option<NodeName> {
+        PolicyRegistry::builtin()
+            .by_name(policy)
+            .unwrap()
+            .place(spec, nodes)
+    }
+
     #[test]
     fn binpack_fills_first_node_first() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         let pod = sgx_pod(30);
         // First placement goes to sgx-1 and stays there until full.
         for _ in 0..3 {
-            let chosen = PlacementPolicy::Binpack.place(&pod, &view).unwrap();
+            let chosen = place(SGX_BINPACK, &pod, &nodes).unwrap();
             assert_eq!(chosen.as_str(), "sgx-1");
-            view.node_mut(&chosen).unwrap().reserve(&pod);
+            nodes.get_mut(&chosen).unwrap().reserve(&pod);
         }
         // 90 of 93.5 MiB used: the fourth 30 MiB pod spills to sgx-2.
-        let chosen = PlacementPolicy::Binpack.place(&pod, &view).unwrap();
+        let chosen = place(SGX_BINPACK, &pod, &nodes).unwrap();
         assert_eq!(chosen.as_str(), "sgx-2");
     }
 
     #[test]
     fn binpack_sends_standard_pods_to_standard_nodes_first() {
-        let view = empty_view();
-        let chosen = PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap();
+        let nodes = empty_nodes();
+        let chosen = place(SGX_BINPACK, &std_pod(4), &nodes).unwrap();
         assert_eq!(chosen.as_str(), "std-1");
     }
 
     #[test]
     fn binpack_standard_pod_falls_back_to_sgx_node_when_needed() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         // Fill both standard nodes completely.
         for name in ["std-1", "std-2"] {
-            let node = NodeName::new(name);
-            view.node_mut(&node).unwrap().reserve(&std_pod(64));
+            nodes
+                .get_mut(&NodeName::new(name))
+                .unwrap()
+                .reserve(&std_pod(64));
         }
         // A 4 GiB pod now only fits on the 8 GiB SGX machines.
-        let chosen = PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap();
+        let chosen = place(SGX_BINPACK, &std_pod(4), &nodes).unwrap();
         assert_eq!(chosen.as_str(), "sgx-1");
     }
 
     #[test]
     fn spread_balances_sgx_load() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         let pod = sgx_pod(20);
-        let first = PlacementPolicy::Spread.place(&pod, &view).unwrap();
-        view.node_mut(&first).unwrap().reserve(&pod);
-        let second = PlacementPolicy::Spread.place(&pod, &view).unwrap();
+        let first = place(SGX_SPREAD, &pod, &nodes).unwrap();
+        nodes.get_mut(&first).unwrap().reserve(&pod);
+        let second = place(SGX_SPREAD, &pod, &nodes).unwrap();
         assert_ne!(first, second, "spread should alternate across SGX nodes");
     }
 
     #[test]
     fn spread_avoids_sgx_nodes_for_standard_pods() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         let pod = std_pod(2);
         for _ in 0..10 {
-            let chosen = PlacementPolicy::Spread.place(&pod, &view).unwrap();
+            let chosen = place(SGX_SPREAD, &pod, &nodes).unwrap();
             assert!(chosen.as_str().starts_with("std"));
-            view.node_mut(&chosen).unwrap().reserve(&pod);
+            nodes.get_mut(&chosen).unwrap().reserve(&pod);
         }
     }
 
     #[test]
     fn spread_falls_back_to_sgx_tier() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         for name in ["std-1", "std-2"] {
-            view.node_mut(&NodeName::new(name))
+            nodes
+                .get_mut(&NodeName::new(name))
                 .unwrap()
                 .reserve(&std_pod(64));
         }
-        let chosen = PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap();
+        let chosen = place(SGX_SPREAD, &std_pod(4), &nodes).unwrap();
         assert!(chosen.as_str().starts_with("sgx"));
     }
 
-    /// The headline bug: a node whose probes went silent has its samples
-    /// age out, so its measured usage reads zero and usage-informed
-    /// policies would pick the "idle-looking" node. Once the view marks
-    /// it degraded, both policies must prefer the fresh node instead.
+    /// The headline PR 4 bug: a node whose probes went silent has its
+    /// samples age out, so its measured usage reads zero and
+    /// usage-informed pipelines would pick the "idle-looking" node. Once
+    /// the snapshot marks it degraded, both pipelines must prefer the
+    /// fresh node instead.
     #[test]
     fn stale_node_is_not_preferred_once_degraded() {
-        let mut view = empty_view();
+        let mut nodes = empty_nodes();
         let busy = EpcPages::new(20_000).to_bytes();
         // sgx-1 is actually the busiest node in the cluster, but its
         // probes went silent: measurements aged out and read as zero.
-        view.node_mut(&NodeName::new("sgx-1")).unwrap().epc_measured = ByteSize::ZERO;
+        nodes.get_mut(&NodeName::new("sgx-1")).unwrap().epc_measured = ByteSize::ZERO;
         // sgx-2 reports honestly and shows real load.
-        view.node_mut(&NodeName::new("sgx-2")).unwrap().epc_measured = busy;
+        nodes.get_mut(&NodeName::new("sgx-2")).unwrap().epc_measured = busy;
 
-        // Staleness-blind, both policies prefer the silent node: binpack
+        // Staleness-blind, both pipelines prefer the silent node: binpack
         // because it walks name order, spread because it looks idle.
-        assert_eq!(
-            PlacementPolicy::Binpack.place(&sgx_pod(10), &view).unwrap(),
-            NodeName::new("sgx-1")
-        );
-        assert_eq!(
-            PlacementPolicy::Spread.place(&sgx_pod(10), &view).unwrap(),
-            NodeName::new("sgx-1")
-        );
+        for policy in [SGX_BINPACK, SGX_SPREAD] {
+            assert_eq!(
+                place(policy, &sgx_pod(10), &nodes).unwrap(),
+                NodeName::new("sgx-1")
+            );
+        }
 
         // Annotate: sgx-1 last scraped 10 minutes ago, sgx-2 fresh.
-        view.annotate_staleness(SimDuration::from_secs(30), |name| {
+        annotate(&mut nodes, SimDuration::from_secs(30), |name| {
             if name.as_str() == "sgx-1" {
                 Some(SimDuration::from_secs(600))
             } else {
                 Some(SimDuration::from_secs(5))
             }
         });
-        for policy in [PlacementPolicy::Binpack, PlacementPolicy::Spread] {
+        for policy in [SGX_BINPACK, SGX_SPREAD] {
             assert_eq!(
-                policy.place(&sgx_pod(10), &view).unwrap(),
+                place(policy, &sgx_pod(10), &nodes).unwrap(),
                 NodeName::new("sgx-2"),
                 "{policy} still prefers the stale node"
             );
         }
         // The degraded node remains a last resort: fill sgx-2 and the
         // pod falls back to sgx-1 rather than going unschedulable.
-        view.node_mut(&NodeName::new("sgx-2"))
+        nodes
+            .get_mut(&NodeName::new("sgx-2"))
             .unwrap()
             .reserve(&sgx_pod(90));
-        for policy in [PlacementPolicy::Binpack, PlacementPolicy::Spread] {
+        for policy in [SGX_BINPACK, SGX_SPREAD] {
             assert_eq!(
-                policy.place(&sgx_pod(10), &view).unwrap(),
+                place(policy, &sgx_pod(10), &nodes).unwrap(),
                 NodeName::new("sgx-1"),
                 "{policy} should fall back to the degraded node"
             );
@@ -279,8 +451,8 @@ mod tests {
 
     #[test]
     fn fresh_standard_nodes_come_before_degraded_ones() {
-        let mut view = empty_view();
-        view.annotate_staleness(SimDuration::from_secs(30), |name| {
+        let mut nodes = empty_nodes();
+        annotate(&mut nodes, SimDuration::from_secs(30), |name| {
             if name.as_str() == "std-1" {
                 Some(SimDuration::from_secs(120))
             } else {
@@ -288,30 +460,57 @@ mod tests {
             }
         });
         // binpack would normally start at std-1; degraded, it skips ahead.
-        assert_eq!(
-            PlacementPolicy::Binpack.place(&std_pod(4), &view).unwrap(),
-            NodeName::new("std-2")
-        );
-        assert_eq!(
-            PlacementPolicy::Spread.place(&std_pod(4), &view).unwrap(),
-            NodeName::new("std-2")
-        );
+        for policy in [SGX_BINPACK, SGX_SPREAD] {
+            assert_eq!(
+                place(policy, &std_pod(4), &nodes).unwrap(),
+                NodeName::new("std-2")
+            );
+        }
     }
 
     #[test]
     fn no_fit_returns_none() {
-        let view = empty_view();
-        // Larger than any node's EPC.
-        assert_eq!(PlacementPolicy::Binpack.place(&sgx_pod(100), &view), None);
-        assert_eq!(PlacementPolicy::Spread.place(&sgx_pod(100), &view), None);
-        // Larger than any node's memory.
-        assert_eq!(PlacementPolicy::Binpack.place(&std_pod(100), &view), None);
-        assert_eq!(PlacementPolicy::Spread.place(&std_pod(100), &view), None);
+        let nodes = empty_nodes();
+        for policy in [SGX_BINPACK, SGX_SPREAD] {
+            // Larger than any node's EPC.
+            assert_eq!(place(policy, &sgx_pod(100), &nodes), None);
+            // Larger than any node's memory.
+            assert_eq!(place(policy, &std_pod(100), &nodes), None);
+        }
     }
 
     #[test]
-    fn policies_display() {
-        assert_eq!(PlacementPolicy::Binpack.to_string(), "binpack");
-        assert_eq!(PlacementPolicy::Spread.to_string(), "spread");
+    fn cordoned_nodes_are_never_placement_targets() {
+        let mut nodes = empty_nodes();
+        nodes.get_mut(&NodeName::new("sgx-1")).unwrap().cordoned = true;
+        let registry = PolicyRegistry::builtin();
+        for name in registry.names() {
+            let pipeline = registry.by_name(&name).unwrap();
+            let chosen = pipeline.place(&sgx_pod(10), &nodes).unwrap();
+            assert_eq!(chosen.as_str(), "sgx-2", "{name} placed on a cordoned node");
+        }
+    }
+
+    #[test]
+    fn cycle_reuses_one_snapshot_across_policies() {
+        let cluster = Cluster::build(&ClusterSpec::paper_cluster());
+        let snapshot = ClusterSnapshot::capture(
+            &cluster,
+            &Database::new(),
+            SimTime::ZERO,
+            SimDuration::from_secs(25),
+        );
+        let registry = PolicyRegistry::builtin();
+        let cycle = SchedulingCycle::new(snapshot);
+        let binpack = registry.by_name(SGX_BINPACK).unwrap();
+        let spread = registry.by_name(SGX_SPREAD).unwrap();
+        assert_eq!(
+            cycle.place(&binpack, &sgx_pod(10)).unwrap().as_str(),
+            "sgx-1"
+        );
+        assert_eq!(
+            cycle.place(&spread, &sgx_pod(10)).unwrap().as_str(),
+            "sgx-1"
+        );
     }
 }

@@ -18,9 +18,12 @@ use sgx_sim::units::{ByteSize, EpcPages};
 use tsdb::{PointBatch, ShardedDatabase, WindowedCache};
 
 use crate::events::{EventKind, EventLog};
+use crate::framework::{PolicyPipeline, SchedulingCycle};
 use crate::metrics::ClusterView;
+use crate::policy::{CordonFilter, EpcFitFilter, SgxCapableFilter};
 use crate::queue::PendingQueue;
-use crate::scheduler::{SchedulerKind, SGX_BINPACK};
+use crate::registry::{PolicyRegistry, SGX_BINPACK};
+use crate::snapshot::ClusterSnapshot;
 
 /// Tunables of the orchestrator control loop.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -206,6 +209,9 @@ pub struct Orchestrator {
     window_cache: RefCell<WindowedCache>,
     queue: PendingQueue,
     probes: Vec<Probe>,
+    /// Scheduler-name → pipeline resolution for every placement the
+    /// orchestrator makes (per-pod routing, drains, rebalancing).
+    registry: PolicyRegistry,
     config: OrchestratorConfig,
     records: BTreeMap<PodUid, PodRecord>,
     events: EventLog,
@@ -233,6 +239,7 @@ impl Orchestrator {
             window_cache: RefCell::new(WindowedCache::new()),
             queue: PendingQueue::new(),
             probes,
+            registry: PolicyRegistry::builtin(),
             rng: seeded_rng(derive_seed(config.seed, "orchestrator")),
             config,
             records: BTreeMap::new(),
@@ -329,27 +336,26 @@ impl Orchestrator {
         uid
     }
 
-    /// One scheduling pass (§IV steps Ì–Î): snapshot the queue and the
-    /// cluster view, walk pending pods in FCFS order, place and bind.
+    /// One scheduling pass (§IV steps Ì–Î): freeze a [`ClusterSnapshot`],
+    /// open a [`SchedulingCycle`] over it, walk pending pods in FCFS
+    /// order, place each through its resolved pipeline and bind.
     ///
-    /// Pods the policy cannot place stay queued for the next pass. Pods
+    /// Pods no pipeline can place stay queued for the next pass. Pods
     /// whose enclave the driver denies are recorded as [`PodOutcome::Denied`]
     /// and leave the queue — they were launched and killed.
     pub fn scheduler_pass(&mut self, now: SimTime) -> Vec<BindOutcome> {
-        let mut view = self.capture_view(now);
-        let view_degraded = view.iter().any(|(_, v)| v.degraded);
+        let snapshot = self.capture_snapshot(now);
+        let view_degraded = snapshot.any_degraded();
+        let mut cycle = SchedulingCycle::new(snapshot);
         let mut outcomes = Vec::new();
 
         for pending in self.queue.snapshot() {
-            let kind = pending
-                .spec
-                .scheduler
-                .as_deref()
-                .and_then(SchedulerKind::by_name)
-                .or_else(|| SchedulerKind::by_name(&self.config.default_scheduler))
-                .unwrap_or(SchedulerKind::KubeDefault);
+            let pipeline = self.registry.resolve(
+                pending.spec.scheduler.as_deref(),
+                &self.config.default_scheduler,
+            );
 
-            let Some(node_name) = kind.place(&pending.spec, &view) else {
+            let Some(node_name) = cycle.place(&pipeline, &pending.spec) else {
                 continue; // stays pending; FCFS retry next pass
             };
 
@@ -389,9 +395,7 @@ impl Orchestrator {
                                 node: node_name.clone(),
                             },
                         );
-                        if let Some(v) = view.node_mut(&node_name) {
-                            v.reserve(&pending.spec);
-                        }
+                        cycle.reserve(&node_name, &pending.spec);
                     }
                     let slowdown_at_start = self
                         .cluster
@@ -409,12 +413,10 @@ impl Orchestrator {
                     });
                 }
                 Err(_) => {
-                    // The Kubelet refused (a race between view and node
-                    // state); treat the node as full for the rest of the
-                    // pass and retry the pod later.
-                    if let Some(v) = view.node_mut(&node_name) {
-                        v.reserve(&pending.spec);
-                    }
+                    // The Kubelet refused (a race between snapshot and
+                    // node state); treat the node as full for the rest of
+                    // the pass and retry the pod later.
+                    cycle.reserve(&node_name, &pending.spec);
                 }
             }
         }
@@ -605,6 +607,24 @@ impl Orchestrator {
         );
         self.annotate_staleness(&mut view, now);
         view
+    }
+
+    /// Freezes the immutable per-pass [`ClusterSnapshot`] the scheduling
+    /// framework consumes: every worker (cordoned ones included, flagged
+    /// for the cordon filter), effective occupancy from the same cached
+    /// Listing-1 window queries as [`capture_view`](Self::capture_view),
+    /// staleness annotated against the configured threshold.
+    pub fn capture_snapshot(&self, now: SimTime) -> ClusterSnapshot {
+        let snapshot = ClusterSnapshot::capture_cached(
+            &self.cluster,
+            &self.db,
+            &mut self.window_cache.borrow_mut(),
+            now,
+            self.config.metrics_window,
+        );
+        snapshot.with_staleness(self.config.staleness_threshold, |name| {
+            self.metrics_age(name, now)
+        })
     }
 
     /// Stamps a view with per-node metrics ages and degrades nodes whose
@@ -803,14 +823,17 @@ impl Orchestrator {
             .map(|p| (p.uid, p.spec.clone()))
             .collect();
 
+        let pipeline = self
+            .registry
+            .by_name(SGX_BINPACK)
+            .expect("builtin registry has sgx-binpack");
         let mut moves = Vec::new();
         for (uid, spec) in pods {
-            // The view excludes the cordoned node, so placement naturally
+            // The snapshot includes the cordoned source node, but the
+            // pipeline's cordon filter rejects it, so placement naturally
             // avoids it.
-            let view = self.capture_view(now);
-            let Some(target) = SchedulerKind::SgxAware(crate::policy::PlacementPolicy::Binpack)
-                .place(&spec, &view)
-            else {
+            let cycle = SchedulingCycle::new(self.capture_snapshot(now));
+            let Some(target) = cycle.place(&pipeline, &spec) else {
                 continue; // no room anywhere right now
             };
             if let Ok(delay) = self.migrate_pod(uid, &target, now) {
@@ -869,18 +892,29 @@ impl Orchestrator {
     /// node while the requested-EPC imbalance exceeds `threshold`
     /// (a fraction of capacity). Returns the migrations performed.
     pub fn rebalance_epc(&mut self, now: SimTime, threshold: f64) -> Vec<Migration> {
+        // The migration target must pass the same feasibility filters the
+        // scheduler applies, on the requests-only basis the rebalancer
+        // reasons in. Memory admission is the target kubelet's job at
+        // migration time — the rebalancer moves EPC, so its chain checks
+        // EPC and nothing else, exactly as before the framework existed.
+        let feasibility = PolicyPipeline::builder("rebalance-feasibility")
+            .filter(CordonFilter)
+            .filter(SgxCapableFilter)
+            .filter(EpcFitFilter::requests_only())
+            .build();
         let mut moves = Vec::new();
         loop {
-            // Snapshot per-SGX-node load fractions and capacities.
-            let mut loads: Vec<(NodeName, f64, EpcPages, u64)> = self
-                .cluster
-                .sgx_nodes()
-                .map(|n| {
-                    let cap = n.allocatable_epc().count().max(1);
+            // Freeze a requests-only snapshot: per-SGX-node load fractions
+            // and capacities, plus the feasibility inputs for the filters.
+            let snapshot = ClusterSnapshot::requests_only(&self.cluster, now);
+            let mut loads: Vec<(NodeName, f64, u64)> = snapshot
+                .iter()
+                .filter(|(_, v)| v.has_sgx() && !v.cordoned)
+                .map(|(name, v)| {
+                    let cap = v.epc_capacity.count().max(1);
                     (
-                        n.name().clone(),
-                        n.epc_requested().count() as f64 / cap as f64,
-                        n.epc_unrequested(),
+                        name.clone(),
+                        v.epc_requested.count() as f64 / cap as f64,
                         cap,
                     )
                 })
@@ -889,9 +923,8 @@ impl Orchestrator {
                 return moves;
             }
             loads.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let (coldest_name, cold_load, cold_free, cold_cap) =
-                loads.first().expect("non-empty").clone();
-            let (hottest_name, hot_load, _, hot_cap) = loads.last().expect("non-empty").clone();
+            let (coldest_name, cold_load, cold_cap) = loads.first().expect("non-empty").clone();
+            let (hottest_name, hot_load, hot_cap) = loads.last().expect("non-empty").clone();
             if hot_load - cold_load <= threshold {
                 return moves;
             }
@@ -902,6 +935,9 @@ impl Orchestrator {
             // imbalance still above the threshold.
             let gap_pages =
                 ((((hot_load - cold_load) / 2.0) * hot_cap as f64).ceil() as u64).max(1);
+            let cold_view = snapshot
+                .node(&coldest_name)
+                .expect("loads were built from this snapshot");
             let candidate = self
                 .cluster
                 .node(&hottest_name)
@@ -910,7 +946,9 @@ impl Orchestrator {
                 .values()
                 .filter(|p| {
                     let pages = p.spec.resources.requests.epc_pages;
-                    !pages.is_zero() && pages <= cold_free && pages.count() <= gap_pages
+                    !pages.is_zero()
+                        && feasibility.feasible(&p.spec, &coldest_name, cold_view)
+                        && pages.count() <= gap_pages
                 })
                 .max_by_key(|p| p.spec.resources.requests.epc_pages)
                 .map(|p| (p.uid, p.spec.resources.requests.epc_pages.count()));
@@ -923,7 +961,7 @@ impl Orchestrator {
             let new_hot = hot_load - pages as f64 / hot_cap as f64;
             let new_cold = cold_load + pages as f64 / cold_cap as f64;
             let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-            for (name, load, _, _) in &loads {
+            for (name, load, _) in &loads {
                 let l = if *name == hottest_name {
                     new_hot
                 } else if *name == coldest_name {
@@ -953,7 +991,7 @@ impl Orchestrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{DEFAULT_SCHEDULER, SGX_SPREAD};
+    use crate::registry::{DEFAULT_SCHEDULER, SGX_SPREAD};
     use sgx_sim::units::ByteSize;
     use stress::Stressor;
 

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::RngExt;
 use std::ops::{Range, RangeInclusive};
 
-/// Admissible length specifications for [`vec`].
+/// Admissible length specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

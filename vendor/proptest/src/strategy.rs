@@ -163,6 +163,10 @@ tuple_strategies! {
     (A, B, C, D)
     (A, B, C, D, E)
     (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
 }
 
 /// Types with a canonical default strategy, used by [`any`].
