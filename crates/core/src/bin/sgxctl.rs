@@ -38,6 +38,9 @@ COMMON OPTIONS:
     --quick            Use the small one-hour trace instead of paper scale
     --sgx-ratio <R>    Fraction of jobs designated SGX-enabled (default 0.5)
     --scheduler <S>    sgx-binpack | sgx-spread | default (default sgx-binpack)
+    --percentage-of-nodes-to-score <P>
+                       Score only P% of feasible nodes per placement, 1-100
+                       (default 100: score every node, the paper's behaviour)
     --epc-total <MIB>  Simulate a single SGX node with this much usable EPC
     --no-limits        Disable driver-side EPC limit enforcement (Fig. 11)
     --malicious <F>    Add one squatter per SGX node mapping F of its EPC
@@ -195,6 +198,18 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
 
     let workload = Workload::materialize(&trace, &WorkloadParams::paper(ratio, seed));
     let mut config = ReplayConfig::paper(seed).with_scheduler(&scheduler);
+    match args.flag_u64("--percentage-of-nodes-to-score") {
+        Ok(Some(percentage)) => {
+            if !(1..=100).contains(&percentage) {
+                return usage_error("--percentage-of-nodes-to-score must lie in [1, 100]");
+            }
+            config.orchestrator = config
+                .orchestrator
+                .with_percentage_of_nodes_to_score(percentage as u8);
+        }
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
+    }
     match args.flag_u64("--epc-total") {
         Ok(Some(mib)) => {
             config = config.with_cluster(ClusterSpec::sim_cluster_with_total_epc(

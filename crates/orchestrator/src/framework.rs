@@ -31,7 +31,8 @@
 //! pass can account for its own in-pass reservations while every
 //! decision still reads from the same frozen world.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -39,6 +40,85 @@ use cluster::api::{NodeName, PodSpec};
 
 use crate::metrics::NodeView;
 use crate::snapshot::ClusterSnapshot;
+
+/// Clusters at or below this size always score every node, whatever the
+/// configured percentage — sampling a 5-node cluster saves nothing and
+/// would only make small deployments behave differently (the same
+/// `minFeasibleNodesToFind` guard kube-scheduler applies).
+pub const MIN_NODES_TO_SAMPLE: usize = 100;
+
+/// Minimum number of feasible candidates a sampled placement collects
+/// before it stops scanning, however small the percentage.
+const MIN_FEASIBLE_CANDIDATES: usize = 100;
+
+/// Candidate sets smaller than this are scored inline even when score
+/// threads are configured — thread spawn overhead dwarfs the work.
+const MIN_CANDIDATES_TO_PARALLELISE: usize = 64;
+
+/// How one placement bounds and parallelises its candidate search.
+///
+/// The default — score 100 % of nodes on one thread — reproduces the
+/// exhaustive scan bit for bit; tightening the percentage (or opting
+/// into the adaptive formula) trades full scoring coverage for
+/// per-placement cost that no longer grows with the whole cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementOptions {
+    /// Percentage of nodes kept as feasible candidates per placement,
+    /// clamped to 1–100. 100 scores every feasible node.
+    pub percentage_of_nodes_to_score: u8,
+    /// Use kube-scheduler's cluster-size-adaptive percentage
+    /// (`max(5, 50 - nodes/125)`) instead of the fixed one.
+    pub adaptive_percentage: bool,
+    /// Threads used to score the candidate set; 1 scores inline. Scores
+    /// are pure functions, so the result is identical for any count.
+    pub score_threads: usize,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        PlacementOptions {
+            percentage_of_nodes_to_score: 100,
+            adaptive_percentage: false,
+            score_threads: 1,
+        }
+    }
+}
+
+impl PlacementOptions {
+    /// The kube-scheduler adaptive percentage for a cluster of `nodes`:
+    /// `50 - nodes/125`, floored at 5 %.
+    pub fn adaptive_percentage_for(nodes: usize) -> u8 {
+        50_usize.saturating_sub(nodes / 125).max(5) as u8
+    }
+
+    /// How many feasible candidates a placement over `nodes` nodes
+    /// collects before it stops scanning.
+    pub fn target_candidates(&self, nodes: usize) -> usize {
+        if nodes <= MIN_NODES_TO_SAMPLE {
+            return nodes;
+        }
+        let pct = if self.adaptive_percentage {
+            Self::adaptive_percentage_for(nodes)
+        } else {
+            self.percentage_of_nodes_to_score.clamp(1, 100)
+        } as usize;
+        if pct >= 100 {
+            return nodes;
+        }
+        (nodes * pct / 100).clamp(MIN_FEASIBLE_CANDIDATES, nodes)
+    }
+}
+
+/// Outcome of one bounded placement: the chosen node (if any) and how
+/// many nodes the rotated scan examined, so callers can advance their
+/// rotation cursor fairly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The winning node, `None` when nothing feasible was found.
+    pub chosen: Option<NodeName>,
+    /// Nodes the scan visited (feasible or not) before stopping.
+    pub visited: usize,
+}
 
 /// A feasibility predicate: one concern of "can this node host this pod".
 ///
@@ -143,45 +223,134 @@ impl PolicyPipeline {
     /// `None` when nothing fits right now.
     ///
     /// Candidates are compared stage by stage on their weight-scaled
-    /// scores via [`f64::total_cmp`]; a candidate replaces the incumbent
-    /// only when *strictly* better, and `nodes` iterates in name order,
-    /// so full ties resolve to the lowest node name. This is the only
-    /// place in the framework that chooses between nodes.
+    /// scores via [`f64::total_cmp`]; full ties resolve to the lowest
+    /// node name. Equivalent to
+    /// [`place_bounded`](Self::place_bounded) with default
+    /// [`PlacementOptions`]: every feasible node scored, in name order,
+    /// on one thread.
     pub fn place(&self, spec: &PodSpec, nodes: &BTreeMap<NodeName, NodeView>) -> Option<NodeName> {
-        let cx = ScoreContext { spec, nodes };
-        let mut best: Option<(Vec<f64>, &NodeName)> = None;
-        for (name, node) in nodes {
+        self.place_bounded(spec, nodes, &PlacementOptions::default(), 0, None)
+            .chosen
+    }
+
+    /// The bounded form of [`place`](Self::place): a rotated scan that
+    /// stops collecting feasible candidates once the options' target is
+    /// met, then scores just those candidates (optionally across
+    /// threads) and picks the winner.
+    ///
+    /// The scan starts at position `start % nodes.len()` in name order
+    /// and wraps, so successive placements with an advancing cursor
+    /// spread sampling bias across the cluster instead of starving
+    /// late-alphabet nodes. Nodes in `skip` are passed over without
+    /// filtering (a scheduling pass uses this for nodes whose kubelet
+    /// refused a bind mid-pass).
+    ///
+    /// With default options the scan visits every node from position 0
+    /// and the selection — lexicographic stage scores, then lowest
+    /// name — is bit-identical to the exhaustive `place`.
+    pub fn place_bounded(
+        &self,
+        spec: &PodSpec,
+        nodes: &BTreeMap<NodeName, NodeView>,
+        options: &PlacementOptions,
+        start: usize,
+        skip: Option<&BTreeSet<NodeName>>,
+    ) -> Placement {
+        let total = nodes.len();
+        if total == 0 {
+            return Placement {
+                chosen: None,
+                visited: 0,
+            };
+        }
+        let target = options.target_candidates(total).max(1);
+        let offset = start % total;
+        let mut candidates: Vec<(&NodeName, &NodeView)> = Vec::new();
+        let mut visited = 0;
+        let rotated = nodes.iter().skip(offset).chain(nodes.iter().take(offset));
+        for (name, node) in rotated {
+            visited += 1;
+            if skip.is_some_and(|s| s.contains(name)) {
+                continue;
+            }
             if !self.feasible(spec, name, node) {
                 continue;
             }
-            let scores: Vec<f64> = self
-                .scorers
-                .iter()
-                .map(|stage| stage.weight * stage.plugin.score(&cx, name, node))
-                .collect();
-            let strictly_better = match &best {
-                None => true,
-                Some((incumbent, _)) => lex_gt(&scores, incumbent),
-            };
-            if strictly_better {
-                best = Some((scores, name));
+            candidates.push((name, node));
+            if candidates.len() >= target {
+                break;
             }
         }
-        best.map(|(_, name)| name.clone())
+        let cx = ScoreContext { spec, nodes };
+        let scores = self.score_candidates(&cx, &candidates, options.score_threads);
+        let mut best: Option<usize> = None;
+        for (i, (name, _)) in candidates.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => match lex_cmp(&scores[i], &scores[b]) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => *name < candidates[b].0,
+                },
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        Placement {
+            chosen: best.map(|i| candidates[i].0.clone()),
+            visited,
+        }
+    }
+
+    /// Scores every candidate, splitting the set across scoped threads
+    /// when `threads > 1` and the set is large enough to amortize the
+    /// spawns. Scores are pure functions of `(cx, name, node)`, so the
+    /// output vector is identical for any thread count.
+    fn score_candidates(
+        &self,
+        cx: &ScoreContext<'_>,
+        candidates: &[(&NodeName, &NodeView)],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let score_one = |name: &NodeName, node: &NodeView| -> Vec<f64> {
+            self.scorers
+                .iter()
+                .map(|stage| stage.weight * stage.plugin.score(cx, name, node))
+                .collect()
+        };
+        if threads <= 1 || candidates.len() < MIN_CANDIDATES_TO_PARALLELISE {
+            return candidates
+                .iter()
+                .map(|(name, node)| score_one(name, node))
+                .collect();
+        }
+        let mut scores: Vec<Vec<f64>> = vec![Vec::new(); candidates.len()];
+        let chunk = candidates.len().div_ceil(threads);
+        let score_one = &score_one;
+        crossbeam::thread::scope(|scope| {
+            for (cands, out) in candidates.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, (name, node)) in out.iter_mut().zip(cands) {
+                        *slot = score_one(name, node);
+                    }
+                });
+            }
+        });
+        scores
     }
 }
 
-/// `true` when `a` beats `b` lexicographically under `total_cmp`.
-fn lex_gt(a: &[f64], b: &[f64]) -> bool {
+/// Lexicographic comparison of stage-score vectors under `total_cmp`.
+fn lex_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
     debug_assert_eq!(a.len(), b.len(), "stage count is fixed per pipeline");
     for (x, y) in a.iter().zip(b) {
         match x.total_cmp(y) {
-            std::cmp::Ordering::Greater => return true,
-            std::cmp::Ordering::Less => return false,
             std::cmp::Ordering::Equal => continue,
+            other => return other,
         }
     }
-    false
+    std::cmp::Ordering::Equal
 }
 
 /// Builder for [`PolicyPipeline`].
@@ -231,14 +400,39 @@ impl PipelineBuilder {
 pub struct SchedulingCycle {
     snapshot: ClusterSnapshot,
     working: BTreeMap<NodeName, NodeView>,
+    options: PlacementOptions,
+    infeasible: BTreeSet<NodeName>,
+    cursor: Cell<usize>,
 }
 
 impl SchedulingCycle {
-    /// Opens a cycle over a snapshot. The working state starts as an
-    /// exact copy of the snapshot's nodes.
+    /// Opens a cycle over a snapshot with default [`PlacementOptions`]
+    /// (exhaustive scoring). The working state starts as an exact copy
+    /// of the snapshot's nodes.
     pub fn new(snapshot: ClusterSnapshot) -> Self {
         let working = snapshot.nodes().clone();
-        SchedulingCycle { snapshot, working }
+        SchedulingCycle {
+            snapshot,
+            working,
+            options: PlacementOptions::default(),
+            infeasible: BTreeSet::new(),
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Sets the cycle's placement options and the rotation cursor's
+    /// starting position (advanced by each placement's visit count).
+    ///
+    /// At 100 % sampling the target equals the node count, every scan
+    /// visits all nodes, and the cursor therefore advances by a full
+    /// revolution per placement — starting it at a multiple of the node
+    /// count keeps even a seeded cycle bit-identical to the exhaustive
+    /// scan.
+    #[must_use]
+    pub fn with_options(mut self, options: PlacementOptions, start: usize) -> Self {
+        self.options = options;
+        self.cursor = Cell::new(start);
+        self
     }
 
     /// The frozen snapshot this cycle was opened on.
@@ -251,9 +445,21 @@ impl SchedulingCycle {
         self.working.get(name)
     }
 
-    /// Places `spec` through `pipeline` against the working state.
+    /// Places `spec` through `pipeline` against the working state,
+    /// honoring the cycle's placement options and skipping nodes marked
+    /// [infeasible](Self::mark_infeasible). Advances the rotation
+    /// cursor by the number of nodes the scan visited.
     pub fn place(&self, pipeline: &PolicyPipeline, spec: &PodSpec) -> Option<NodeName> {
-        pipeline.place(spec, &self.working)
+        let placement = pipeline.place_bounded(
+            spec,
+            &self.working,
+            &self.options,
+            self.cursor.get(),
+            Some(&self.infeasible),
+        );
+        self.cursor
+            .set(self.cursor.get().wrapping_add(placement.visited));
+        placement.chosen
     }
 
     /// Registers an in-pass reservation so later placements of this
@@ -262,6 +468,13 @@ impl SchedulingCycle {
         if let Some(view) = self.working.get_mut(name) {
             view.reserve(spec);
         }
+    }
+
+    /// Excludes a node from every later placement of this cycle without
+    /// charging it phantom reservations — used when its kubelet refused
+    /// a bind, so retrying it this pass would just fail again.
+    pub fn mark_infeasible(&mut self, name: &NodeName) {
+        self.infeasible.insert(name.clone());
     }
 }
 
@@ -413,6 +626,132 @@ mod tests {
             cycle.snapshot().node(&first).unwrap().epc_requested.count(),
             0
         );
+    }
+
+    #[test]
+    fn adaptive_percentage_follows_the_kube_formula() {
+        assert_eq!(PlacementOptions::adaptive_percentage_for(0), 50);
+        assert_eq!(PlacementOptions::adaptive_percentage_for(1000), 42);
+        assert_eq!(PlacementOptions::adaptive_percentage_for(5000), 10);
+        assert_eq!(PlacementOptions::adaptive_percentage_for(5625), 5);
+        assert_eq!(PlacementOptions::adaptive_percentage_for(12_500), 5);
+        assert_eq!(PlacementOptions::adaptive_percentage_for(1_000_000), 5);
+    }
+
+    #[test]
+    fn target_candidates_honors_guards_and_floors() {
+        let tight = PlacementOptions {
+            percentage_of_nodes_to_score: 1,
+            ..PlacementOptions::default()
+        };
+        // Small clusters always score everything, whatever the knob.
+        assert_eq!(tight.target_candidates(5), 5);
+        assert_eq!(tight.target_candidates(100), 100);
+        // Above the guard, the feasible floor kicks in...
+        assert_eq!(tight.target_candidates(101), 100);
+        assert_eq!(tight.target_candidates(5000), 100);
+        // ...until the percentage itself exceeds it.
+        assert_eq!(tight.target_candidates(20_000), 200);
+        let adaptive = PlacementOptions {
+            adaptive_percentage: true,
+            ..PlacementOptions::default()
+        };
+        assert_eq!(adaptive.target_candidates(5000), 500); // 10 %
+        assert_eq!(adaptive.target_candidates(12_500), 625); // 5 %
+        let full = PlacementOptions::default();
+        assert_eq!(full.target_candidates(12_500), 12_500);
+    }
+
+    fn uniform_sgx_nodes(n: usize) -> BTreeMap<NodeName, NodeView> {
+        use sgx_sim::units::EpcPages;
+        (0..n)
+            .map(|i| {
+                let view = NodeView {
+                    memory_capacity: ByteSize::from_gib(8),
+                    epc_capacity: EpcPages::new(23_936),
+                    ..NodeView::default()
+                };
+                (NodeName::new(format!("node-{i:05}")), view)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bounded_scan_stops_at_the_candidate_target_and_rotates() {
+        let pipeline = fit_pipeline();
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        let nodes = uniform_sgx_nodes(500);
+        let opts = PlacementOptions {
+            percentage_of_nodes_to_score: 20,
+            ..PlacementOptions::default()
+        };
+        // 20 % of 500 = 100 feasible candidates; all nodes feasible, so
+        // the scan stops after exactly 100 visits.
+        let placement = pipeline.place_bounded(&pod, &nodes, &opts, 0, None);
+        assert_eq!(placement.visited, 100);
+        assert_eq!(placement.chosen.unwrap().as_str(), "node-00000");
+        // A rotated start samples a different window of the name order.
+        let rotated = pipeline.place_bounded(&pod, &nodes, &opts, 200, None);
+        assert_eq!(rotated.visited, 100);
+        assert_eq!(rotated.chosen.unwrap().as_str(), "node-00200");
+        // Wrap-around: starting near the end folds back to the front.
+        let wrapped = pipeline.place_bounded(&pod, &nodes, &opts, 450, None);
+        assert_eq!(wrapped.chosen.unwrap().as_str(), "node-00000");
+    }
+
+    #[test]
+    fn parallel_scoring_matches_sequential_bit_for_bit() {
+        // A scorer whose value varies per node, derived purely from the
+        // name so any thread partitioning computes the same numbers.
+        #[derive(Debug)]
+        struct DigitScore;
+        impl ScorePlugin for DigitScore {
+            fn name(&self) -> &'static str {
+                "digit"
+            }
+            fn score(&self, _: &ScoreContext<'_>, name: &NodeName, _: &NodeView) -> f64 {
+                let i: u64 = name.as_str()[5..].parse().expect("node-NNNNN");
+                ((i * 7919) % 101) as f64
+            }
+        }
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        let nodes = uniform_sgx_nodes(300);
+        let build = |threads: usize| {
+            let pipeline = PolicyPipeline::builder("par")
+                .filter(SgxCapableFilter)
+                .score(DigitScore)
+                .build();
+            let opts = PlacementOptions {
+                score_threads: threads,
+                ..PlacementOptions::default()
+            };
+            pipeline.place_bounded(&pod, &nodes, &opts, 0, None)
+        };
+        let sequential = build(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(build(threads), sequential);
+        }
+    }
+
+    #[test]
+    fn infeasible_marks_exclude_without_phantom_reservations() {
+        let pipeline = fit_pipeline();
+        let mut cycle = SchedulingCycle::new(snapshot());
+        let pod = PodSpec::builder("p")
+            .sgx_resources(ByteSize::from_mib(10))
+            .build();
+        let first = cycle.place(&pipeline, &pod).unwrap();
+        assert_eq!(first.as_str(), "sgx-1");
+        cycle.mark_infeasible(&first);
+        // Excluded from later placements of this cycle...
+        let second = cycle.place(&pipeline, &pod).unwrap();
+        assert_eq!(second.as_str(), "sgx-2");
+        // ...but its working view carries no fabricated occupancy.
+        assert!(cycle.node(&first).unwrap().epc_requested.is_zero());
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub mod snapshot;
 mod server;
 
 pub use framework::{
-    FilterPlugin, PipelineBuilder, PolicyPipeline, SchedulingCycle, ScoreContext, ScorePlugin,
-    ScoreStage,
+    FilterPlugin, PipelineBuilder, Placement, PlacementOptions, PolicyPipeline, SchedulingCycle,
+    ScoreContext, ScorePlugin, ScoreStage,
 };
 pub use queue::{PendingPod, PendingQueue};
 pub use registry::{PolicyRegistry, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};

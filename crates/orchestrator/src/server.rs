@@ -2,14 +2,14 @@
 //! collection and pod completion.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use cluster::api::{NodeName, PodSpec, PodUid};
 use cluster::node::{Node, PodStartReport};
-use cluster::probe::Probe;
+use cluster::probe::{Probe, MEASUREMENT_EPC, MEASUREMENT_MEMORY};
 use cluster::topology::{Cluster, ClusterSpec};
 use cluster::ClusterError;
 use des::rng::{derive_seed, seeded_rng};
@@ -18,8 +18,8 @@ use sgx_sim::units::{ByteSize, EpcPages};
 use tsdb::{PointBatch, ShardedDatabase, WindowedCache};
 
 use crate::events::{EventKind, EventLog};
-use crate::framework::{PolicyPipeline, SchedulingCycle};
-use crate::metrics::ClusterView;
+use crate::framework::{PlacementOptions, PolicyPipeline, SchedulingCycle};
+use crate::metrics::{ClusterView, NodeView};
 use crate::policy::{CordonFilter, EpcFitFilter, SgxCapableFilter};
 use crate::queue::PendingQueue;
 use crate::registry::{PolicyRegistry, SGX_BINPACK};
@@ -47,6 +47,39 @@ pub struct OrchestratorConfig {
     pub staleness_threshold: SimDuration,
     /// Base seed for the startup-cost jitter stream.
     pub seed: u64,
+    /// Maintain the per-pass [`ClusterSnapshot`] incrementally: refresh
+    /// only nodes whose cluster state or in-window samples changed since
+    /// the previous pass, structurally sharing the rest. Bit-identical
+    /// to re-capturing from scratch; `false` forces full captures.
+    #[serde(default = "default_incremental_snapshots")]
+    pub incremental_snapshots: bool,
+    /// Percentage of nodes a placement keeps as feasible candidates
+    /// (1–100). At 100 every feasible node is scored — the exhaustive
+    /// kube-scheduler-style pass.
+    #[serde(default = "default_percentage_of_nodes_to_score")]
+    pub percentage_of_nodes_to_score: u8,
+    /// Use the cluster-size-adaptive candidate percentage
+    /// (`max(5, 50 - nodes/125)`, kube-scheduler's formula) instead of
+    /// the fixed `percentage_of_nodes_to_score`.
+    #[serde(default)]
+    pub adaptive_percentage_of_nodes_to_score: bool,
+    /// Threads used to score each placement's candidate set (1 scores
+    /// inline; scores are pure, so the outcome is thread-count
+    /// independent).
+    #[serde(default = "default_score_threads")]
+    pub score_threads: usize,
+}
+
+fn default_incremental_snapshots() -> bool {
+    true
+}
+
+fn default_percentage_of_nodes_to_score() -> u8 {
+    100
+}
+
+fn default_score_threads() -> usize {
+    1
 }
 
 impl OrchestratorConfig {
@@ -64,6 +97,10 @@ impl OrchestratorConfig {
             // so the node's measurements have fully aged out.
             staleness_threshold: SimDuration::from_secs(30),
             seed: 0,
+            incremental_snapshots: default_incremental_snapshots(),
+            percentage_of_nodes_to_score: default_percentage_of_nodes_to_score(),
+            adaptive_percentage_of_nodes_to_score: false,
+            score_threads: default_score_threads(),
         }
     }
 
@@ -89,6 +126,40 @@ impl OrchestratorConfig {
     pub fn with_staleness_threshold(mut self, threshold: SimDuration) -> Self {
         self.staleness_threshold = threshold;
         self
+    }
+
+    /// Same configuration with incremental snapshot maintenance toggled.
+    pub fn with_incremental_snapshots(mut self, incremental: bool) -> Self {
+        self.incremental_snapshots = incremental;
+        self
+    }
+
+    /// Same configuration with a different candidate percentage
+    /// (clamped to 1–100).
+    pub fn with_percentage_of_nodes_to_score(mut self, percentage: u8) -> Self {
+        self.percentage_of_nodes_to_score = percentage.clamp(1, 100);
+        self
+    }
+
+    /// Same configuration with the adaptive candidate percentage toggled.
+    pub fn with_adaptive_percentage_of_nodes_to_score(mut self, adaptive: bool) -> Self {
+        self.adaptive_percentage_of_nodes_to_score = adaptive;
+        self
+    }
+
+    /// Same configuration with a different score-thread count (≥ 1).
+    pub fn with_score_threads(mut self, threads: usize) -> Self {
+        self.score_threads = threads.max(1);
+        self
+    }
+
+    /// The per-placement options this configuration prescribes.
+    pub fn placement_options(&self) -> PlacementOptions {
+        PlacementOptions {
+            percentage_of_nodes_to_score: self.percentage_of_nodes_to_score.clamp(1, 100),
+            adaptive_percentage: self.adaptive_percentage_of_nodes_to_score,
+            score_threads: self.score_threads.max(1),
+        }
     }
 }
 
@@ -222,8 +293,34 @@ pub struct Orchestrator {
     /// Placement decisions taken while at least one node's view was
     /// degraded by stale metrics.
     degraded_decisions: u64,
+    /// Nodes whose cluster-side state changed since the last frozen
+    /// snapshot (binds, completions, migrations, cordons, failures) —
+    /// the explicit half of the incremental refresh set. Interior
+    /// mutability keeps [`capture_snapshot`](Orchestrator::capture_snapshot)
+    /// a `&self` read, like the window cache.
+    dirty: RefCell<BTreeSet<NodeName>>,
+    /// Newest sample instant per node, counting only non-empty scrape
+    /// frames. Decides which nodes' measured usage may have changed as
+    /// the sliding window advances: a node whose newest sample predates
+    /// the previous capture's window had nothing in that window, so
+    /// nothing left it since.
+    last_sample: BTreeMap<NodeName, SimTime>,
+    /// The previous pass's frozen snapshot and the window bound it saw —
+    /// the base the next incremental capture refreshes.
+    snapshot_cache: RefCell<Option<CachedSnapshot>>,
+    /// Scheduling passes taken so far; seeds the candidate-rotation
+    /// cursor of sampled placements.
+    pass_counter: u64,
     next_uid: u64,
     rng: StdRng,
+}
+
+/// Base of the next incremental snapshot capture.
+#[derive(Debug)]
+struct CachedSnapshot {
+    snapshot: ClusterSnapshot,
+    /// Lower bound of the metrics window at capture time.
+    window_lo: SimTime,
 }
 
 impl Orchestrator {
@@ -246,6 +343,10 @@ impl Orchestrator {
             events: EventLog::with_capacity(100_000),
             last_scrape: BTreeMap::new(),
             degraded_decisions: 0,
+            dirty: RefCell::new(BTreeSet::new()),
+            last_sample: BTreeMap::new(),
+            snapshot_cache: RefCell::new(None),
+            pass_counter: 0,
             next_uid: 1,
         }
     }
@@ -266,8 +367,26 @@ impl Orchestrator {
     }
 
     /// Mutable access to the cluster (e.g. to toggle driver enforcement).
+    ///
+    /// Arbitrary topology edits — node add/remove, capacity changes —
+    /// are only reachable through here, so this drops the incremental
+    /// snapshot base: the next capture re-derives every node.
     pub fn cluster_mut(&mut self) -> &mut Cluster {
+        *self.snapshot_cache.get_mut() = None;
+        self.dirty.get_mut().clear();
         &mut self.cluster
+    }
+
+    /// Marks a node's frozen view stale: the next snapshot capture
+    /// re-derives it instead of reusing the cached one.
+    fn mark_dirty(&self, name: &NodeName) {
+        self.dirty.borrow_mut().insert(name.clone());
+    }
+
+    /// Nodes currently marked for refresh at the next snapshot capture
+    /// (observability for the incremental-maintenance tests).
+    pub fn dirty_nodes(&self) -> BTreeSet<NodeName> {
+        self.dirty.borrow().clone()
     }
 
     /// Read access to the time-series database.
@@ -346,7 +465,14 @@ impl Orchestrator {
     pub fn scheduler_pass(&mut self, now: SimTime) -> Vec<BindOutcome> {
         let snapshot = self.capture_snapshot(now);
         let view_degraded = snapshot.any_degraded();
-        let mut cycle = SchedulingCycle::new(snapshot);
+        // Seeded rotation start for sampled placements. At the default
+        // 100 % sampling every scan still visits all nodes and picks the
+        // global best, so the offset cannot change any decision there.
+        let start = derive_seed(self.config.seed, "placement-rotation")
+            .wrapping_add(self.pass_counter) as usize;
+        self.pass_counter += 1;
+        let mut cycle =
+            SchedulingCycle::new(snapshot).with_options(self.config.placement_options(), start);
         let mut outcomes = Vec::new();
 
         for pending in self.queue.snapshot() {
@@ -366,6 +492,7 @@ impl Orchestrator {
             match node.run_pod(pending.uid, pending.spec.clone(), now, &mut self.rng) {
                 Ok(report) => {
                     self.queue.remove(pending.uid);
+                    self.mark_dirty(&node_name);
                     let started_at = now + report.startup_delay;
                     let record = self
                         .records
@@ -414,9 +541,13 @@ impl Orchestrator {
                 }
                 Err(_) => {
                     // The Kubelet refused (a race between snapshot and
-                    // node state); treat the node as full for the rest of
-                    // the pass and retry the pod later.
-                    cycle.reserve(&node_name, &pending.spec);
+                    // node state). The pod never landed, so charging the
+                    // node a reservation would fabricate occupancy that
+                    // outlives the refusal; exclude the node for the rest
+                    // of the pass and refresh its view before the next
+                    // one. The pod stays queued and retries then.
+                    cycle.mark_infeasible(&node_name);
+                    self.mark_dirty(&node_name);
                 }
             }
         }
@@ -429,12 +560,20 @@ impl Orchestrator {
     /// measurement and `nodename` tag once per frame instead of cloning
     /// them into every point.
     pub fn probe_pass(&mut self, now: SimTime) {
+        let mut sampled: Vec<NodeName> = Vec::new();
         for probe in &self.probes {
             for node in self.cluster.nodes() {
                 if probe.targets(node) {
-                    self.db.insert_batch(&probe.sample_batch(node, now));
+                    let batch = probe.sample_batch(node, now);
+                    if !batch.is_empty() {
+                        sampled.push(node.name().clone());
+                    }
+                    self.db.insert_batch(&batch);
                 }
             }
+        }
+        for name in sampled {
+            self.record_sample(&name, now);
         }
         self.stamp_all_scrapes(now);
         self.db.enforce_retention(now, self.config.retention);
@@ -475,6 +614,9 @@ impl Orchestrator {
     /// roll freshness backwards, so the stamp is max-merged.
     pub fn ingest_frame(&mut self, node: &NodeName, batch: &PointBatch, scraped_at: SimTime) {
         self.db.insert_batch(batch);
+        if !batch.is_empty() {
+            self.record_sample(node, scraped_at);
+        }
         self.record_scrape(node, scraped_at);
     }
 
@@ -483,6 +625,20 @@ impl Orchestrator {
             .entry(node.clone())
             .and_modify(|t| *t = (*t).max(scraped_at))
             .or_insert(scraped_at);
+    }
+
+    /// Records that a non-empty frame sampled at `at` entered the
+    /// database for `node` — the signal the incremental snapshot refresh
+    /// uses to tell which nodes' in-window sample sets can still change.
+    /// Max-merged, like the scrape stamp: a delayed frame must not roll
+    /// the newest-sample instant backwards. Also marks the node dirty so
+    /// the next capture re-derives its measured usage right away.
+    fn record_sample(&mut self, node: &NodeName, at: SimTime) {
+        self.mark_dirty(node);
+        self.last_sample
+            .entry(node.clone())
+            .and_modify(|t| *t = (*t).max(at))
+            .or_insert(at);
     }
 
     /// Enforces the database retention window, as the tail of a probe
@@ -519,6 +675,11 @@ impl Orchestrator {
         let db = &self.db;
         let probes = &self.probes;
         let nodes: Vec<&Node> = self.cluster.nodes().collect();
+        // Producers note which nodes shipped non-empty frames; merged
+        // into the newest-sample stamps after the scope joins (the merge
+        // is a max, so the collection order across threads is moot).
+        let sampled = std::sync::Mutex::new(Vec::<NodeName>::new());
+        let sampled_ref = &sampled;
 
         crossbeam::thread::scope(|scope| {
             // One bounded channel per writer; a node's frames always go to
@@ -550,6 +711,10 @@ impl Orchestrator {
                             if probe.targets(node) {
                                 let batch = probe.sample_batch(node, now);
                                 if !batch.is_empty() {
+                                    sampled_ref
+                                        .lock()
+                                        .expect("sample collector")
+                                        .push(node.name().clone());
                                     senders[writer].send(batch).expect("writer alive");
                                 }
                             }
@@ -561,6 +726,9 @@ impl Orchestrator {
             // is done.
             drop(senders);
         });
+        for name in sampled.into_inner().expect("sample collector") {
+            self.record_sample(&name, now);
+        }
         self.stamp_all_scrapes(now);
         self.db.enforce_retention(now, self.config.retention);
     }
@@ -585,6 +753,7 @@ impl Orchestrator {
             .terminate_pod(uid)?;
         record.finished_at = Some(now);
         record.outcome = PodOutcome::Completed { node: node.clone() };
+        self.mark_dirty(&node);
         self.events.record(now, EventKind::Completed { uid, node });
         Ok(())
     }
@@ -611,30 +780,138 @@ impl Orchestrator {
 
     /// Freezes the immutable per-pass [`ClusterSnapshot`] the scheduling
     /// framework consumes: every worker (cordoned ones included, flagged
-    /// for the cordon filter), effective occupancy from the same cached
-    /// Listing-1 window queries as [`capture_view`](Self::capture_view),
-    /// staleness annotated against the configured threshold.
+    /// for the cordon filter), effective occupancy from the Listing-1
+    /// window queries, staleness annotated against the configured
+    /// threshold.
+    ///
+    /// With `incremental_snapshots` on (the default) the snapshot is
+    /// maintained across passes: only nodes in the refresh set — marked
+    /// dirty by a bind, completion, migration, cordon or failure, or
+    /// whose in-window sample set changed as the window slid — have
+    /// their views re-derived; the clean remainder is structurally
+    /// shared with the previous pass's snapshot. Bit-identical to a full
+    /// capture (property-tested in `tests/snapshot_incremental.rs`).
     pub fn capture_snapshot(&self, now: SimTime) -> ClusterSnapshot {
-        let snapshot = ClusterSnapshot::capture_cached(
-            &self.cluster,
-            &self.db,
-            &mut self.window_cache.borrow_mut(),
-            now,
-            self.config.metrics_window,
-        );
-        snapshot.with_staleness(self.config.staleness_threshold, |name| {
-            self.metrics_age(name, now)
-        })
+        let window = self.config.metrics_window;
+        // Retention shorter than the query window could evict in-window
+        // samples behind the dirty tracking's back; full captures are
+        // the safe fallback in that (mis)configuration.
+        let incremental = self.config.incremental_snapshots && self.config.retention >= window;
+        let cached = if incremental {
+            self.snapshot_cache.borrow_mut().take()
+        } else {
+            None
+        };
+        let snapshot = match cached {
+            Some(prev) => self.refresh_snapshot(prev, now),
+            None => {
+                self.dirty.borrow_mut().clear();
+                let mut snapshot = ClusterSnapshot::capture_cached(
+                    &self.cluster,
+                    &self.db,
+                    &mut self.window_cache.borrow_mut(),
+                    now,
+                    window,
+                );
+                snapshot.update(now, |nodes| self.stamp_staleness(nodes, now));
+                snapshot
+            }
+        };
+        if incremental {
+            let window_lo =
+                SimTime::from_micros(now.as_micros().saturating_sub(window.as_micros()));
+            *self.snapshot_cache.borrow_mut() = Some(CachedSnapshot {
+                snapshot: snapshot.clone(),
+                window_lo,
+            });
+        }
+        snapshot
+    }
+
+    /// The incremental capture path: advances the cached snapshot to
+    /// `now`, re-deriving only the refresh set — the drained dirty set
+    /// plus every node whose newest non-empty sample falls at or after
+    /// the previous capture's window bound (its in-window sample set can
+    /// have gained or lost samples as the window slid; a node whose
+    /// newest sample predates that bound measured empty then and still
+    /// does). Staleness is re-stamped on every node — ages move with
+    /// `now` for free inside the same map walk.
+    fn refresh_snapshot(&self, prev: CachedSnapshot, now: SimTime) -> ClusterSnapshot {
+        let window = self.config.metrics_window;
+        let mut refresh = std::mem::take(&mut *self.dirty.borrow_mut());
+        for (name, &last) in &self.last_sample {
+            if last >= prev.window_lo {
+                refresh.insert(name.clone());
+            }
+        }
+        let mut snapshot = prev.snapshot;
+        snapshot.update(now, |nodes| {
+            for name in &refresh {
+                let Some(node) = self.cluster.node(name) else {
+                    continue;
+                };
+                let Some(view) = nodes.get_mut(name) else {
+                    continue;
+                };
+                *view = NodeView {
+                    memory_capacity: node.allocatable_memory(),
+                    epc_capacity: node.allocatable_epc(),
+                    memory_requested: node.memory_requested(),
+                    epc_requested: node.epc_requested(),
+                    memory_measured: ClusterView::measured_node(
+                        &self.db,
+                        MEASUREMENT_MEMORY,
+                        name,
+                        now,
+                        window,
+                    ),
+                    epc_measured: ClusterView::measured_node(
+                        &self.db,
+                        MEASUREMENT_EPC,
+                        name,
+                        now,
+                        window,
+                    ),
+                    metrics_age: None,
+                    degraded: false,
+                    cordoned: node.is_cordoned(),
+                };
+            }
+            self.stamp_staleness(nodes, now);
+        });
+        snapshot
+    }
+
+    /// Stamps metrics ages and degraded flags — the one staleness rule
+    /// all capture paths share (full snapshot capture, incremental
+    /// refresh, and the [`ClusterView`] path): a node is degraded once
+    /// its last delivered scrape is strictly older than the configured
+    /// threshold; never-scraped nodes stay fresh. Walks the scrape
+    /// ledger, not the node map: a node with no recorded scrape reads
+    /// `metrics_age: None, degraded: false` — exactly what fresh view
+    /// construction and the refresh reset leave behind — so only
+    /// scraped nodes ever need their stamps rewritten, and the walk
+    /// costs O(scraped), not O(nodes).
+    fn stamp_staleness(&self, nodes: &mut BTreeMap<NodeName, NodeView>, now: SimTime) {
+        let threshold = self.config.staleness_threshold;
+        for (name, &scraped_at) in &self.last_scrape {
+            let Some(view) = nodes.get_mut(name) else {
+                continue;
+            };
+            let age = now.saturating_since(scraped_at);
+            view.metrics_age = Some(age);
+            view.degraded = age > threshold;
+        }
     }
 
     /// Stamps a view with per-node metrics ages and degrades nodes whose
     /// last delivered scrape is older than the configured threshold —
     /// what [`capture_view`](Self::capture_view) applies to every
-    /// snapshot it hands the schedulers.
+    /// snapshot it hands the schedulers. Same rule as
+    /// [`capture_snapshot`](Self::capture_snapshot), via the shared
+    /// stamping helper.
     pub fn annotate_staleness(&self, view: &mut ClusterView, now: SimTime) {
-        view.annotate_staleness(self.config.staleness_threshold, |name| {
-            self.metrics_age(name, now)
-        });
+        self.stamp_staleness(view.nodes_mut(), now);
     }
 
     /// Usage counters of the sliding-window query cache.
@@ -704,6 +981,11 @@ impl Orchestrator {
             .node_mut(target)
             .expect("checked above")
             .migrate_in(uid, spec.clone(), checkpoint, key, now);
+        // Either way the source's occupancy churned (migrate-out, and on
+        // refusal the restore); the target only changes on success, but
+        // a spurious refresh is cheap and a missed one is a stale view.
+        self.mark_dirty(&source);
+        self.mark_dirty(target);
         match attempt {
             Ok(delay) => {
                 self.records.get_mut(&uid).expect("record exists").outcome = PodOutcome::Running {
@@ -755,6 +1037,7 @@ impl Orchestrator {
             node.set_cordoned(true);
             node.pods().keys().copied().collect()
         };
+        self.mark_dirty(name);
         for &uid in &victims {
             let pod = self
                 .cluster
@@ -812,6 +1095,7 @@ impl Orchestrator {
                 .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?;
             node.set_cordoned(true);
         }
+        self.mark_dirty(name);
         self.events
             .record(now, EventKind::NodeCordoned { node: name.clone() });
         let pods: Vec<(PodUid, cluster::api::PodSpec)> = self
@@ -858,6 +1142,7 @@ impl Orchestrator {
             .node_mut(name)
             .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?
             .set_cordoned(false);
+        self.mark_dirty(name);
         self.events
             .record(now, EventKind::NodeUncordoned { node: name.clone() });
         Ok(())

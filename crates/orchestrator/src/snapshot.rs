@@ -58,7 +58,7 @@ pub struct ClusterSnapshot {
     inner: Arc<SnapshotInner>,
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct SnapshotInner {
     captured_at: SimTime,
     nodes: BTreeMap<NodeName, NodeView>,
@@ -185,6 +185,27 @@ impl ClusterSnapshot {
             view.degraded = age.is_some_and(|a| a > threshold);
         }
         Self::from_nodes(self.inner.captured_at, nodes)
+    }
+
+    /// Advances the snapshot to a new capture instant, handing the node
+    /// map to `apply` for in-place edits — the incremental-maintenance
+    /// entry point: the orchestrator refreshes only the dirty nodes'
+    /// views and re-stamps staleness, structurally sharing everything
+    /// else.
+    ///
+    /// When this snapshot is the only live handle (the steady state
+    /// between scheduling passes), the update happens in place with no
+    /// copy at all; while clones are still alive (e.g. held by an open
+    /// [`SchedulingCycle`](crate::SchedulingCycle)), the map is cloned
+    /// first so frozen snapshots stay immutable.
+    pub fn update(
+        &mut self,
+        captured_at: SimTime,
+        apply: impl FnOnce(&mut BTreeMap<NodeName, NodeView>),
+    ) {
+        let inner = Arc::make_mut(&mut self.inner);
+        inner.captured_at = captured_at;
+        apply(&mut inner.nodes);
     }
 
     /// When the snapshot was captured.

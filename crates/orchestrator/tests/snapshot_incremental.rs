@@ -1,0 +1,322 @@
+//! Incremental snapshot maintenance: the dirty-set bookkeeping must be
+//! exact (each mutation dirties the node it touched and nothing else),
+//! and the incrementally maintained snapshot must stay bit-identical to
+//! a from-scratch capture under arbitrary event interleavings.
+
+use proptest::prelude::*;
+
+use cluster::api::{NodeName, PodSpec, PodUid};
+use cluster::topology::ClusterSpec;
+use des::{SimDuration, SimTime};
+use orchestrator::{ClusterSnapshot, Orchestrator, OrchestratorConfig, PodOutcome};
+use sgx_sim::units::ByteSize;
+
+fn orchestrator() -> Orchestrator {
+    Orchestrator::new(ClusterSpec::paper_cluster(), OrchestratorConfig::paper())
+}
+
+fn sgx_spec(name: &str, mib: u64) -> PodSpec {
+    PodSpec::builder(name)
+        .sgx_resources(ByteSize::from_mib(mib))
+        .duration(SimDuration::from_secs(300))
+        .build()
+}
+
+fn node_of(orch: &Orchestrator, uid: PodUid) -> NodeName {
+    match &orch.record(uid).unwrap().outcome {
+        PodOutcome::Running { node } => node.clone(),
+        other => panic!("pod not running: {other:?}"),
+    }
+}
+
+/// The from-scratch oracle every incremental capture is checked against:
+/// a full re-derivation of all workers plus the same staleness rule.
+fn oracle(orch: &Orchestrator, now: SimTime) -> ClusterSnapshot {
+    ClusterSnapshot::capture(orch.cluster(), orch.db(), now, orch.config().metrics_window)
+        .with_staleness(orch.config().staleness_threshold, |name| {
+            orch.metrics_age(name, now)
+        })
+}
+
+fn assert_matches_oracle(orch: &Orchestrator, now: SimTime) {
+    let incremental = orch.capture_snapshot(now);
+    let full = oracle(orch, now);
+    assert_eq!(
+        incremental, full,
+        "incremental snapshot diverged from a from-scratch capture at {now}"
+    );
+}
+
+#[test]
+fn node_failure_mid_pass_dirties_exactly_the_failed_node() {
+    let mut orch = orchestrator();
+    let uid = orch.submit(sgx_spec("victim", 20), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    let node = node_of(&orch, uid);
+
+    // Freeze a snapshot: the capture drains the dirty set.
+    orch.capture_snapshot(SimTime::from_secs(6));
+    assert!(orch.dirty_nodes().is_empty(), "capture must drain the set");
+
+    orch.fail_node(&node, SimTime::from_secs(7)).unwrap();
+    let dirty = orch.dirty_nodes();
+    assert_eq!(
+        dirty.iter().collect::<Vec<_>>(),
+        vec![&node],
+        "a crash dirties the crashed node and nothing else"
+    );
+    assert_matches_oracle(&orch, SimTime::from_secs(8));
+    // The refreshed view reflects the crash: cordoned, nothing requested.
+    let snap = orch.capture_snapshot(SimTime::from_secs(8));
+    let view = snap.node(&node).unwrap();
+    assert!(view.cordoned);
+    assert!(view.epc_requested.is_zero());
+}
+
+#[test]
+fn pod_finish_between_passes_dirties_exactly_its_node() {
+    let mut orch = orchestrator();
+    let uid = orch.submit(sgx_spec("job", 20), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    let node = node_of(&orch, uid);
+    orch.capture_snapshot(SimTime::from_secs(6));
+    assert!(orch.dirty_nodes().is_empty());
+
+    // The pod finishes with no probe frame delivered in between: only
+    // the completion itself can tell the snapshot the node changed.
+    orch.complete_pod(uid, SimTime::from_secs(9)).unwrap();
+    let dirty = orch.dirty_nodes();
+    assert_eq!(
+        dirty.iter().collect::<Vec<_>>(),
+        vec![&node],
+        "a completion dirties the node the pod ran on and nothing else"
+    );
+    assert_matches_oracle(&orch, SimTime::from_secs(10));
+    let snap = orch.capture_snapshot(SimTime::from_secs(10));
+    assert!(snap.node(&node).unwrap().epc_requested.is_zero());
+}
+
+#[test]
+fn degraded_to_fresh_transition_dirties_exactly_the_revived_node() {
+    let mut orch = orchestrator();
+    let uid = orch.submit(sgx_spec("svc", 20), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    let node = node_of(&orch, uid);
+    orch.probe_pass(SimTime::from_secs(10));
+
+    // Every probe goes silent for 90 s: all nodes degrade (the staleness
+    // re-stamp needs no dirty marks for that — it runs on every node,
+    // every capture).
+    assert_matches_oracle(&orch, SimTime::from_secs(100));
+    let snap = orch.capture_snapshot(SimTime::from_secs(100));
+    assert!(snap.iter().all(|(_, v)| v.degraded));
+    assert!(orch.dirty_nodes().is_empty());
+
+    // One late frame revives just the pod's node.
+    let frames = orch.scrape_frames(SimTime::from_secs(101));
+    let (name, batch) = frames
+        .iter()
+        .find(|(n, b)| n == &node && !b.is_empty())
+        .expect("the running pod's node produces a non-empty frame")
+        .clone();
+    orch.ingest_frame(&name, &batch, SimTime::from_secs(101));
+    let dirty = orch.dirty_nodes();
+    assert_eq!(
+        dirty.iter().collect::<Vec<_>>(),
+        vec![&node],
+        "a delivered frame dirties the scraped node and nothing else"
+    );
+    assert_matches_oracle(&orch, SimTime::from_secs(102));
+    let snap = orch.capture_snapshot(SimTime::from_secs(102));
+    assert!(!snap.node(&node).unwrap().degraded, "revived node is fresh");
+    assert!(
+        snap.iter().any(|(n, v)| n != &node && v.degraded),
+        "the silent nodes stay degraded"
+    );
+}
+
+#[test]
+fn samples_aging_out_of_the_window_refresh_without_explicit_dirt() {
+    let mut orch = orchestrator();
+    orch.submit(sgx_spec("burst", 30), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    orch.probe_pass(SimTime::from_secs(10));
+
+    // Fresh capture sees the measured usage.
+    let snap = orch.capture_snapshot(SimTime::from_secs(12));
+    assert!(snap.iter().any(|(_, v)| !v.epc_measured.is_zero()));
+
+    // No further frames; the samples age out of the 25 s window. The
+    // window-aging half of the refresh set must catch this without any
+    // mutation having marked the node dirty.
+    assert!(orch.dirty_nodes().is_empty());
+    assert_matches_oracle(&orch, SimTime::from_secs(40));
+    let snap = orch.capture_snapshot(SimTime::from_secs(45));
+    assert!(
+        snap.iter().all(|(_, v)| v.epc_measured.is_zero()),
+        "aged-out samples must leave the measured view"
+    );
+    // And the node goes quiet afterwards: captures keep matching.
+    assert_matches_oracle(&orch, SimTime::from_secs(50));
+    assert_matches_oracle(&orch, SimTime::from_secs(55));
+}
+
+#[test]
+fn cluster_mut_invalidates_the_cached_snapshot() {
+    let mut orch = orchestrator();
+    orch.submit(sgx_spec("a", 10), SimTime::ZERO);
+    orch.scheduler_pass(SimTime::from_secs(5));
+    orch.capture_snapshot(SimTime::from_secs(6));
+
+    // A direct cluster edit bypasses every per-node dirty mark; taking
+    // `cluster_mut` must drop the cached base so nothing stale survives.
+    orch.cluster_mut()
+        .node_mut(&NodeName::new("sgx-2"))
+        .unwrap()
+        .set_cordoned(true);
+    assert!(orch.dirty_nodes().is_empty(), "no per-node mark was taken");
+    assert_matches_oracle(&orch, SimTime::from_secs(7));
+    let snap = orch.capture_snapshot(SimTime::from_secs(7));
+    assert!(snap.node(&NodeName::new("sgx-2")).unwrap().cordoned);
+}
+
+#[test]
+fn disabling_incremental_snapshots_changes_nothing() {
+    let run = |incremental: bool| {
+        let mut orch = Orchestrator::new(
+            ClusterSpec::paper_cluster(),
+            OrchestratorConfig::paper().with_incremental_snapshots(incremental),
+        );
+        let mut digests = Vec::new();
+        for i in 0..8u64 {
+            let now = SimTime::from_secs(i * 5);
+            if i % 3 == 0 {
+                orch.submit(sgx_spec(&format!("p{i}"), 8 + i), now);
+            }
+            orch.scheduler_pass(now);
+            if i % 2 == 0 {
+                orch.probe_pass(now);
+            }
+            digests.push(format!("{:?}", orch.capture_snapshot(now)));
+        }
+        digests
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Submit an SGX pod of the given size step.
+    Submit(u8),
+    /// Run a scheduling pass (binds pods, reserves capacity).
+    Schedule,
+    /// Deliver a full probe pass.
+    Probe,
+    /// Scrape frames but deliver only every `k`-th (lossy transport).
+    LossyFrames(u8),
+    /// Complete the nth running pod.
+    Finish(u8),
+    /// Drain (cordon) the nth worker, or uncordon it if already cordoned.
+    ToggleCordon(u8),
+    /// Crash the nth worker, or recover it if already down.
+    ToggleFailure(u8),
+    /// Let time pass so samples age out and staleness grows.
+    Idle,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (1u8..40).prop_map(Ev::Submit),
+        Just(Ev::Schedule),
+        Just(Ev::Probe),
+        (1u8..4).prop_map(Ev::LossyFrames),
+        (0u8..16).prop_map(Ev::Finish),
+        (0u8..4).prop_map(Ev::ToggleCordon),
+        (0u8..4).prop_map(Ev::ToggleFailure),
+        Just(Ev::Idle),
+    ]
+}
+
+fn running_pods(orch: &Orchestrator) -> Vec<PodUid> {
+    orch.records()
+        .values()
+        .filter_map(|r| match &r.outcome {
+            PodOutcome::Running { .. } => Some(r.uid),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: after every event of an arbitrary
+    /// interleaving of probe frames (lossless and lossy), binds,
+    /// finishes, cordons and node failures, the incrementally maintained
+    /// snapshot equals a from-scratch capture, bit for bit.
+    #[test]
+    fn incremental_snapshots_match_full_captures_under_arbitrary_events(
+        events in prop::collection::vec(ev_strategy(), 1..48),
+    ) {
+        let mut orch = orchestrator();
+        let workers: Vec<NodeName> = orch
+            .cluster()
+            .workers()
+            .map(|n| n.name().clone())
+            .collect();
+        let mut now = SimTime::ZERO;
+        for (index, event) in events.into_iter().enumerate() {
+            now += SimDuration::from_secs(5);
+            match event {
+                Ev::Submit(size) => {
+                    orch.submit(sgx_spec(&format!("p{index}"), u64::from(size)), now);
+                }
+                Ev::Schedule => {
+                    orch.scheduler_pass(now);
+                }
+                Ev::Probe => orch.probe_pass(now),
+                Ev::LossyFrames(k) => {
+                    let frames = orch.scrape_frames(now);
+                    for (i, (node, batch)) in frames.iter().enumerate() {
+                        if i % usize::from(k) == 0 {
+                            orch.ingest_frame(node, batch, now);
+                        }
+                    }
+                    orch.enforce_metrics_retention(now);
+                }
+                Ev::Finish(n) => {
+                    let running = running_pods(&orch);
+                    if let Some(&uid) = running.get(n as usize % running.len().max(1)) {
+                        orch.complete_pod(uid, now).expect("running pods complete");
+                    }
+                }
+                Ev::ToggleCordon(n) => {
+                    let name = workers[n as usize % workers.len()].clone();
+                    if orch.cluster().node(&name).expect("worker").is_cordoned() {
+                        orch.uncordon_node(&name, now).expect("worker exists");
+                    } else {
+                        orch.drain_node(&name, now).expect("worker exists");
+                    }
+                }
+                Ev::ToggleFailure(n) => {
+                    let name = workers[n as usize % workers.len()].clone();
+                    if orch.cluster().node(&name).expect("worker").is_cordoned() {
+                        orch.recover_node(&name, now).expect("worker exists");
+                    } else {
+                        orch.fail_node(&name, now).expect("worker exists");
+                    }
+                }
+                Ev::Idle => now += SimDuration::from_secs(30),
+            }
+            let incremental = orch.capture_snapshot(now);
+            let full = oracle(&orch, now);
+            prop_assert_eq!(
+                incremental,
+                full,
+                "incremental snapshot diverged after event {} at {}",
+                index,
+                now
+            );
+        }
+    }
+}
