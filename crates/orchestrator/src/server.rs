@@ -661,16 +661,32 @@ impl Orchestrator {
 
     /// [`probe_pass`](Self::probe_pass) with the fleet fan-in ran
     /// concurrently: `threads` producer threads scrape disjoint node
-    /// subsets and ship each node's [`PointBatch`]es over bounded
-    /// `crossbeam` channels to `threads` shard-writer threads, which push
-    /// them into the sharded database in parallel.
+    /// subsets and ship each node's [`PointBatch`]es — all of a node's
+    /// frames in one message — over bounded `crossbeam` channels to
+    /// `threads` writer threads. Each writer coalesces incoming frames
+    /// into a writer-local buffer and flushes it through
+    /// [`ShardedDatabase::insert_batches`], which groups rows by shard
+    /// across frames so each shard's registry guard is taken once per
+    /// flush instead of once per frame. Buffers flush every
+    /// `WRITER_FLUSH_FRAMES` (32) frames and, unconditionally, when the
+    /// channel closes — the tick boundary — so no sample outlives the
+    /// pass in a buffer.
     ///
     /// The resulting database state is **bit-identical** to the
-    /// sequential pass (property-tested in `tests/ingest_props.rs`):
-    /// within one pass every series receives at most one sample per
-    /// probe, so no same-series ordering exists to violate, and all
-    /// writer threads join before the pass returns.
+    /// sequential pass (property-tested in `tests/ingest_props.rs`): a
+    /// node's series are written only by the writer its name hashes to,
+    /// the buffer preserves frame arrival order, and within one pass
+    /// every series receives at most one sample per probe, so no
+    /// same-series ordering exists to violate; all writer threads join
+    /// before the pass returns.
     pub fn probe_pass_concurrent(&mut self, now: SimTime, threads: usize) {
+        /// Frames a writer accumulates locally before flushing them into
+        /// the database in one grouped [`ShardedDatabase::insert_batches`]
+        /// call. Small enough that a pass's tail latency stays bounded,
+        /// large enough to amortise the per-shard guard across a run of
+        /// frames.
+        const WRITER_FLUSH_FRAMES: usize = 32;
+
         let threads = threads.max(1);
         let db = &self.db;
         let probes = &self.probes;
@@ -687,15 +703,23 @@ impl Orchestrator {
             // probe order is preserved end to end.
             let mut senders = Vec::with_capacity(threads);
             for _ in 0..threads {
-                let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(16);
+                let (tx, rx) = crossbeam::channel::bounded::<Vec<PointBatch>>(16);
                 senders.push(tx);
                 scope.spawn(move || {
-                    while let Ok(batch) = rx.recv() {
-                        db.insert_batch(&batch);
+                    let mut buffer: Vec<PointBatch> = Vec::with_capacity(WRITER_FLUSH_FRAMES);
+                    while let Ok(frames) = rx.recv() {
+                        buffer.extend(frames);
+                        if buffer.len() >= WRITER_FLUSH_FRAMES {
+                            db.insert_batches(&buffer);
+                            buffer.clear();
+                        }
                     }
+                    // Tick boundary: the channel closed, flush what's left.
+                    db.insert_batches(&buffer);
                 });
             }
-            // Producers scrape strided node subsets.
+            // Producers scrape strided node subsets, shipping each node's
+            // frames as one message.
             for offset in 0..threads.min(nodes.len().max(1)) {
                 let senders = senders.clone();
                 let nodes = &nodes;
@@ -707,17 +731,21 @@ impl Orchestrator {
                             node.name().as_str().hash(&mut h);
                             (h.finish() % senders.len() as u64) as usize
                         };
+                        let mut frames: Vec<PointBatch> = Vec::new();
                         for probe in probes {
                             if probe.targets(node) {
                                 let batch = probe.sample_batch(node, now);
                                 if !batch.is_empty() {
-                                    sampled_ref
-                                        .lock()
-                                        .expect("sample collector")
-                                        .push(node.name().clone());
-                                    senders[writer].send(batch).expect("writer alive");
+                                    frames.push(batch);
                                 }
                             }
+                        }
+                        if !frames.is_empty() {
+                            sampled_ref
+                                .lock()
+                                .expect("sample collector")
+                                .push(node.name().clone());
+                            senders[writer].send(frames).expect("writer alive");
                         }
                     }
                 });

@@ -1,0 +1,157 @@
+//! Retention-during-ingest stress test (run by CI): the full probe
+//! topology — producer threads shipping per-node [`PointBatch`] frame
+//! runs to writer threads that coalesce them in writer-local buffers and
+//! flush through `insert_batches` — races a retention thread firing
+//! bounded trim ticks the whole time. Every racing cutoff stays at or
+//! below the final cutoff, so whichever samples the racing trims catch,
+//! the closing trim finishes the job: the surviving window must be
+//! bit-identical to a sequential ingest-everything-then-trim-once
+//! oracle.
+//!
+//! The test also pins the lock-free hot path: once the first wave has
+//! registered every series, delivering a second wave must not take a
+//! single whole-shard exclusive lock.
+
+use des::{SimDuration, SimTime};
+use tsdb::{Aggregate, Database, PointBatch, Predicate, Select, ShardedDatabase, TimeBound};
+
+const NODES: usize = 20;
+const PODS_PER_NODE: usize = 8;
+const PASSES: usize = 40;
+const WRITERS: usize = 4;
+const SHARDS: usize = 4;
+/// Frames a writer buffers locally before flushing them in one
+/// `insert_batches` call — the orchestrator's coalescing flush size.
+const FLUSH_FRAMES: usize = 32;
+/// Retention ticks the racing thread fires (bounded, so CI terminates).
+const RETENTION_TICKS: usize = 25;
+/// The closing retention window. Racing ticks keep at least this much,
+/// so their cutoffs never pass the final one.
+const FINAL_KEEP_SECS: u64 = 120;
+
+/// The frame node `node` emits at scrape pass `pass` — deterministic,
+/// and monotone in time per series, so the concurrent run and the
+/// sequential oracle agree exactly whatever the trim interleaving.
+fn frame_for(node: usize, pass: usize) -> PointBatch {
+    let now = SimTime::from_secs(10 * (pass as u64 + 1));
+    let mut batch = PointBatch::new("sgx/epc", "pod_name", now)
+        .with_shared_tag("nodename", format!("node-{node:02}"));
+    for pod in 0..PODS_PER_NODE {
+        let value = (node * 1000 + pod * 10 + pass % 7 + 1) as f64;
+        batch.push(format!("pod-{pod}"), value);
+    }
+    batch
+}
+
+fn listing1() -> Select {
+    let per_pod = Select::from_measurement("sgx/epc")
+        .aggregate(Aggregate::Max)
+        .filter(Predicate::ValueNe(0.0))
+        .filter(Predicate::TimeAtLeast(TimeBound::SinceNowMinus(
+            SimDuration::from_secs(25),
+        )))
+        .group_by(["pod_name", "nodename"]);
+    Select::from_subquery(per_pod)
+        .aggregate(Aggregate::Sum)
+        .group_by(["nodename"])
+}
+
+/// Delivers every pass's frames through the buffered writer topology:
+/// producers ship each node's frame to the node's writer, writers flush
+/// writer-local buffers through `insert_batches`. Per-node frame order —
+/// and hence per-series sample order — is preserved end to end.
+fn deliver_all_passes(db: &ShardedDatabase, first_pass: usize, passes: usize) {
+    crossbeam::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(WRITERS);
+        for _ in 0..WRITERS {
+            let (tx, rx) = crossbeam::channel::bounded::<PointBatch>(8);
+            senders.push(tx);
+            scope.spawn(move || {
+                let mut buffer: Vec<PointBatch> = Vec::with_capacity(FLUSH_FRAMES);
+                while let Ok(batch) = rx.recv() {
+                    buffer.push(batch);
+                    if buffer.len() >= FLUSH_FRAMES {
+                        db.insert_batches(&buffer);
+                        buffer.clear();
+                    }
+                }
+                db.insert_batches(&buffer);
+            });
+        }
+
+        for offset in 0..WRITERS {
+            let senders = senders.clone();
+            scope.spawn(move || {
+                for pass in first_pass..first_pass + passes {
+                    for node in (offset..NODES).step_by(WRITERS) {
+                        let writer = node % WRITERS;
+                        senders[writer]
+                            .send(frame_for(node, pass))
+                            .expect("writer alive");
+                    }
+                }
+            });
+        }
+
+        drop(senders);
+    });
+}
+
+#[test]
+fn retention_racing_buffered_ingestion_matches_ingest_then_trim_oracle() {
+    let db = ShardedDatabase::new(SHARDS);
+    let now = SimTime::from_secs(10 * PASSES as u64);
+    let final_keep = SimDuration::from_secs(FINAL_KEEP_SECS);
+
+    crossbeam::thread::scope(|outer| {
+        // Retention thread: bounded trim ticks racing the whole ingest,
+        // windows varying but never tighter than the closing one.
+        let db_ref = &db;
+        outer.spawn(move || {
+            for tick in 0..RETENTION_TICKS {
+                let keep = FINAL_KEEP_SECS + (tick as u64 * 37) % 300;
+                db_ref.enforce_retention(now, SimDuration::from_secs(keep));
+            }
+        });
+
+        deliver_all_passes(db_ref, 0, PASSES);
+    });
+    // Closing trim: finishes whatever the racing ticks left behind.
+    db.enforce_retention(now, final_keep);
+
+    // Sequential oracle: same frames in per-node pass order, one trim.
+    let mut oracle = Database::new();
+    for pass in 0..PASSES {
+        for node in 0..NODES {
+            oracle.insert_batch(&frame_for(node, pass));
+        }
+    }
+    oracle.enforce_retention(now, final_keep);
+    assert!(oracle.points_evicted() > 0, "trim must bite");
+    assert!(oracle.point_count() > 0, "a window must survive");
+
+    assert_eq!(
+        db.points_inserted(),
+        (NODES * PODS_PER_NODE * PASSES) as u64
+    );
+    assert_eq!(db.points_inserted(), oracle.points_inserted());
+    assert_eq!(db.points_evicted(), oracle.points_evicted());
+    assert_eq!(db.out_of_order_inserts(), oracle.out_of_order_inserts());
+    assert_eq!(db.point_count(), oracle.point_count());
+    assert_eq!(db.snapshot(), oracle.snapshot());
+
+    let select = listing1();
+    assert_eq!(db.query(&select, now), oracle.query(&select, now));
+    assert_eq!(
+        db.query_full_scan(&select, now),
+        oracle.query_full_scan(&select, now)
+    );
+
+    // Lock-free hot path: the surviving window means every series is
+    // still registered, so a second wave of newer frames must append
+    // without one whole-shard exclusive lock acquisition.
+    let creations = db.append_write_lock_acquisitions();
+    assert!(creations > 0, "first wave must grow the registry");
+    deliver_all_passes(&db, PASSES, PASSES);
+    assert_eq!(db.append_write_lock_acquisitions(), creations);
+}

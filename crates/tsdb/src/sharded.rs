@@ -1,13 +1,33 @@
-//! Sharded concurrent series storage.
+//! Sharded concurrent series storage with a per-series append hot path.
 //!
 //! At production scale the single-`&mut` [`Database`] serialises every
 //! probe pass through one `BTreeMap`. A [`ShardedDatabase`] splits the
 //! series space into `N` shards keyed by the hash of
 //! `(measurement, tag set)` — the same routing a distributed InfluxDB
-//! applies per series key — with each shard a full [`Database`] behind
-//! its own `parking_lot::RwLock`. Writers for different shards never
-//! contend; lifetime counters are mirrored into atomics so stats reads
-//! take no lock at all.
+//! applies per series key — and pushes concurrency one level further
+//! down: within a shard, every series keeps its samples behind its own
+//! per-series lock, so the shard's `RwLock` protects only the series
+//! *registry* (the `BTreeMap`s), not the samples.
+//!
+//! # Lock hierarchy (registry → series)
+//!
+//! 1. **Shard registry lock** (`RwLock<Database>`): held **shared** by
+//!    appends to existing series, by retention trims, and by readers;
+//!    held **exclusive** only to grow the registry (first contact with a
+//!    series or measurement), to sweep emptied series out after a trim,
+//!    and by [`Extend`]/restore conveniences.
+//! 2. **Per-series lock** (`Mutex<SeriesData>` inside
+//!    [`Series`](crate::storage)): serialises same-series appends, trims
+//!    and sample reads. Never held while acquiring any other lock.
+//!
+//! Locks are always acquired registry-then-series and whole-store read
+//! paths take shard guards through one canonical-order helper
+//! ([`read_all`](ShardedDatabase::read_all) — shard 0, 1, …), so no lock
+//! cycle exists. The steady-state append path
+//! ([`insert_at`-equivalent][`Database::try_append`] on an existing
+//! series) takes **zero** whole-shard exclusive locks — instrumented by
+//! [`append_write_lock_acquisitions`](ShardedDatabase::append_write_lock_acquisitions)
+//! and property-tested in `tests/sharded_props.rs`.
 //!
 //! # Determinism
 //!
@@ -18,6 +38,11 @@
 //!   function of measurement + tags), so per-series sample order is
 //!   whatever the writers produce — identical to the sequential path
 //!   when each series has one writer.
+//! * Within one [`insert_batches`](ShardedDatabase::insert_batches)
+//!   call, rows that miss the registry are deferred to one exclusive
+//!   creation pass per shard run. Same-series rows always miss (or hit)
+//!   together while the shared run guard is held, and the deferred pass
+//!   preserves row order, so per-series order survives the split.
 //! * Read paths ([`query`](ShardedDatabase::query), the
 //!   [`SeriesStore`] visitor, snapshots) merge the per-shard
 //!   `BTreeMap`s back into global tag-set order before folding, so the
@@ -27,6 +52,17 @@
 //! * Series ids stay unique across shards without coordination: shard
 //!   `i` of `n` draws ids from the arithmetic progression
 //!   `{i + n, i + 2n, ...}` (see [`Database::with_id_stride`]).
+//!
+//! # Non-stalling retention
+//!
+//! [`enforce_retention`](ShardedDatabase::enforce_retention) no longer
+//! takes a whole-shard write lock for the trim: it walks each shard
+//! under the **shared** registry guard, locking one series at a time for
+//! exactly its own binary-search-and-drain, so concurrent appends to
+//! other series never stall behind retention. Only when a series ran
+//! empty does a brief exclusive sweep remove it from the registry —
+//! re-checking emptiness under the exclusive lock, so a racing append
+//! that revived the series wins.
 //!
 //! # Examples
 //!
@@ -48,18 +84,19 @@
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{MutexGuard, RwLock};
 
 use des::{SimDuration, SimTime};
 
 use crate::batch::PointBatch;
 use crate::point::{Point, TagSet};
 use crate::query::{Row, Select, WindowSource};
-use crate::storage::{Database, SeriesRef, SeriesStore};
+use crate::storage::{retention_cutoff, Database, Series, SeriesData, SeriesRef, SeriesStore};
 
-/// A [`Database`] split into hash-routed shards, each behind its own
-/// reader-writer lock, with lock-free lifetime counters. See the module
-/// docs for the determinism contract.
+/// A [`Database`] split into hash-routed shards whose registry locks are
+/// only taken exclusively to create series, with per-series locks on the
+/// append/trim/read hot paths and lock-free lifetime counters. See the
+/// module docs for the lock hierarchy and determinism contract.
 #[derive(Debug)]
 pub struct ShardedDatabase {
     shards: Box<[RwLock<Database>]>,
@@ -69,6 +106,14 @@ pub struct ShardedDatabase {
     points_inserted: AtomicU64,
     points_evicted: AtomicU64,
     out_of_order_inserts: AtomicU64,
+    /// Whole-shard **exclusive** lock acquisitions taken by the append
+    /// paths — one per registry-growth fallback (first contact with a
+    /// series or measurement). The existing-series hot path never bumps
+    /// this; the `sharded_props` suite asserts it stays flat.
+    append_write_locks: AtomicU64,
+    /// Whole-shard exclusive sweeps taken by retention to unregister
+    /// series that ran empty.
+    retention_sweep_locks: AtomicU64,
 }
 
 impl ShardedDatabase {
@@ -84,6 +129,8 @@ impl ShardedDatabase {
             points_inserted: AtomicU64::new(0),
             points_evicted: AtomicU64::new(0),
             out_of_order_inserts: AtomicU64::new(0),
+            append_write_locks: AtomicU64::new(0),
+            retention_sweep_locks: AtomicU64::new(0),
         }
     }
 
@@ -129,68 +176,158 @@ impl ShardedDatabase {
         shards
     }
 
+    /// Shared guards for every shard, acquired in canonical shard order
+    /// (0, 1, …). Every whole-store read path collects its guards
+    /// through this one helper, so no two code paths can interleave
+    /// shard-lock acquisition in conflicting orders.
+    fn read_all(&self) -> Vec<parking_lot::RwLockReadGuard<'_, Database>> {
+        self.shards.iter().map(RwLock::read).collect()
+    }
+
     /// Inserts a point through its series' shard. Takes `&self`: writers
-    /// for different shards run concurrently.
+    /// for different series run concurrently — an existing series costs
+    /// one shared registry guard plus the series' own lock; only first
+    /// contact takes the shard's exclusive lock.
     pub fn insert(&self, point: Point) {
         let shard = self.shard_of(point.measurement(), point.tags());
-        let (measurement, tags, time, value) = point.into_parts();
-        let in_order = self.shards[shard]
-            .write()
-            .insert_owned(measurement, tags, time, value);
+        // Hot path: existing series, shared registry guard only. The
+        // guard must drop before the creation fallback takes the
+        // exclusive lock on the same shard.
+        let appended = {
+            let guard = self.shards[shard].read();
+            guard.try_append(
+                point.measurement(),
+                point.tags(),
+                point.time(),
+                point.value(),
+            )
+        };
+        let in_order = match appended {
+            Some(in_order) => in_order,
+            None => {
+                // First contact: grow the registry under the whole-shard
+                // exclusive lock (`insert_owned` re-checks existence, so
+                // losing a creation race to another writer is benign).
+                self.append_write_locks.fetch_add(1, Ordering::Relaxed);
+                let (measurement, tags, time, value) = point.into_parts();
+                self.shards[shard]
+                    .write()
+                    .insert_owned(measurement, tags, time, value)
+            }
+        };
         self.points_inserted.fetch_add(1, Ordering::Relaxed);
         if !in_order {
             self.out_of_order_inserts.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Inserts every row of `batch`, grouping rows by destination shard
-    /// so each shard's write lock is taken once per run of rows rather
-    /// than once per row. Rows of one series keep their batch order.
+    /// Inserts every row of `batch`. Equivalent to
+    /// [`insert_batches`](Self::insert_batches) over a one-frame slice.
     pub fn insert_batch(&self, batch: &PointBatch) {
-        if batch.is_empty() {
-            return;
-        }
-        // Single shard: no routing decision to make, hand the whole frame
-        // to the one writer.
-        if self.shards.len() == 1 {
-            let mut guard = self.shards[0].write();
-            let before = guard.out_of_order_inserts();
-            guard.insert_batch(batch);
-            let out_of_order = guard.out_of_order_inserts() - before;
-            drop(guard);
-            self.points_inserted
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-            if out_of_order > 0 {
-                self.out_of_order_inserts
-                    .fetch_add(out_of_order, Ordering::Relaxed);
-            }
+        self.insert_batches(std::slice::from_ref(batch));
+    }
+
+    /// Inserts every row of every frame, grouping rows by destination
+    /// shard **across frames** so each shard's shared registry guard is
+    /// taken once per run of rows rather than once per frame — the flush
+    /// path of the writer-local frame buffers. Rows of one series keep
+    /// their frame-major order.
+    ///
+    /// Appends to existing series happen under the shared guard (plus
+    /// the per-series lock); rows that miss the registry are deferred,
+    /// in order, to a single exclusive creation pass per shard run.
+    /// Same-series rows always hit or miss together (the registry cannot
+    /// change while the run's shared guard is held), so per-series
+    /// sample order is preserved exactly.
+    pub fn insert_batches(&self, batches: &[PointBatch]) {
+        let total: usize = batches.iter().map(PointBatch::len).sum();
+        if total == 0 {
             return;
         }
         // Route each row: the row tag value completes the series key.
-        let mut tags = batch.shared_tags().clone();
-        let mut routed: Vec<(usize, usize)> = Vec::with_capacity(batch.len());
-        for (index, row) in batch.rows().iter().enumerate() {
-            set_tag(&mut tags, batch.row_tag_key(), &row.tag_value);
-            routed.push((self.shard_of(batch.measurement(), &tags), index));
+        // Frame-major construction + stable sort by shard keeps
+        // same-shard rows (and hence same-series rows) in arrival order.
+        let mut routed: Vec<(u32, u32, u32)> = Vec::with_capacity(total);
+        for (frame, batch) in batches.iter().enumerate() {
+            if self.shards.len() == 1 {
+                routed.extend((0..batch.len()).map(|row| (0, frame as u32, row as u32)));
+            } else {
+                let mut tags = batch.shared_tags().clone();
+                for (row, batch_row) in batch.rows().iter().enumerate() {
+                    set_tag(&mut tags, batch.row_tag_key(), &batch_row.tag_value);
+                    let shard = self.shard_of(batch.measurement(), &tags) as u32;
+                    routed.push((shard, frame as u32, row as u32));
+                }
+            }
         }
-        // Stable sort keeps same-shard rows in batch order.
-        routed.sort_by_key(|&(shard, _)| shard);
+        routed.sort_by_key(|&(shard, _, _)| shard);
 
         let mut inserted = 0u64;
         let mut out_of_order = 0u64;
+        let mut scratch = TagSet::new();
+        let mut deferred: Vec<(u32, u32)> = Vec::new();
         let mut cursor = 0;
         while cursor < routed.len() {
-            let shard = routed[cursor].0;
-            let mut guard = self.shards[shard].write();
-            while cursor < routed.len() && routed[cursor].0 == shard {
-                let row = &batch.rows()[routed[cursor].1];
-                set_tag(&mut tags, batch.row_tag_key(), &row.tag_value);
-                if !guard.insert_at(batch.measurement(), &tags, batch.time(), row.value) {
-                    out_of_order += 1;
-                }
-                inserted += 1;
-                cursor += 1;
+            let shard = routed[cursor].0 as usize;
+            let mut end = cursor;
+            while end < routed.len() && routed[end].0 as usize == shard {
+                end += 1;
             }
+            deferred.clear();
+            {
+                // Hot path: one shared registry guard for the whole run.
+                let guard = self.shards[shard].read();
+                let mut current_frame = u32::MAX;
+                for &(_, frame, row) in &routed[cursor..end] {
+                    let batch = &batches[frame as usize];
+                    if frame != current_frame {
+                        current_frame = frame;
+                        scratch.clone_from(batch.shared_tags());
+                    }
+                    let batch_row = &batch.rows()[row as usize];
+                    set_tag(&mut scratch, batch.row_tag_key(), &batch_row.tag_value);
+                    match guard.try_append(
+                        batch.measurement(),
+                        &scratch,
+                        batch.time(),
+                        batch_row.value,
+                    ) {
+                        Some(in_order) => {
+                            inserted += 1;
+                            if !in_order {
+                                out_of_order += 1;
+                            }
+                        }
+                        None => deferred.push((frame, row)),
+                    }
+                }
+            }
+            if !deferred.is_empty() {
+                // Cold path: first contact with these series — grow the
+                // registry once, under the whole-shard exclusive lock.
+                self.append_write_locks.fetch_add(1, Ordering::Relaxed);
+                let mut guard = self.shards[shard].write();
+                let mut current_frame = u32::MAX;
+                for &(frame, row) in &deferred {
+                    let batch = &batches[frame as usize];
+                    if frame != current_frame {
+                        current_frame = frame;
+                        scratch.clone_from(batch.shared_tags());
+                    }
+                    let batch_row = &batch.rows()[row as usize];
+                    set_tag(&mut scratch, batch.row_tag_key(), &batch_row.tag_value);
+                    if !guard.insert_at(
+                        batch.measurement(),
+                        &scratch,
+                        batch.time(),
+                        batch_row.value,
+                    ) {
+                        out_of_order += 1;
+                    }
+                    inserted += 1;
+                }
+            }
+            cursor = end;
         }
         self.points_inserted.fetch_add(inserted, Ordering::Relaxed);
         if out_of_order > 0 {
@@ -208,31 +345,37 @@ impl ShardedDatabase {
     /// Full-materialisation reference executor, merged across shards —
     /// bit-for-bit identical to [`Database::query_full_scan`].
     pub fn query_full_scan(&self, select: &Select, now: SimTime) -> Vec<Row> {
-        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let guards = self.read_all();
         let fetch = |measurement: &str| {
-            let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
-            for guard in &guards {
-                if let Some(series_map) = guard.series_of(measurement) {
-                    per_series.extend(series_map.iter().map(|(t, s)| (t, s.samples())));
-                }
+            // Tag sets are disjoint across shards, so sorting recovers
+            // the exact series order of the unsharded store.
+            let mut samples = Vec::new();
+            for (tags, series) in sorted_series(&guards, measurement) {
+                let data = series.read();
+                samples.extend(data.samples.iter().map(|&(t, v)| (t, v, tags)));
             }
-            // Tag sets are disjoint across shards, so this recovers the
-            // exact series order of the unsharded store.
-            per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
-            per_series
-                .into_iter()
-                .flat_map(|(tags, samples)| samples.iter().map(move |&(t, v)| (t, v, tags)))
-                .collect()
+            samples
         };
         select.execute_full_scan(&fetch, now)
     }
 
     /// Drops samples older than `keep` relative to `now` on every shard;
     /// returns the number of samples evicted.
+    ///
+    /// Non-stalling: the trim itself runs under each shard's **shared**
+    /// registry guard, locking one series at a time, so concurrent
+    /// appends to other series proceed throughout. Only shards where a
+    /// series ran empty take a brief exclusive sweep to unregister it.
     pub fn enforce_retention(&self, now: SimTime, keep: SimDuration) -> usize {
+        let cutoff = retention_cutoff(now, keep);
         let mut evicted = 0;
         for shard in self.shards.iter() {
-            evicted += shard.write().enforce_retention(now, keep);
+            let (dropped, any_empty) = shard.read().trim_all_series(cutoff);
+            evicted += dropped;
+            if any_empty {
+                self.retention_sweep_locks.fetch_add(1, Ordering::Relaxed);
+                shard.write().sweep_empty_series();
+            }
         }
         self.points_evicted
             .fetch_add(evicted as u64, Ordering::Relaxed);
@@ -253,6 +396,21 @@ impl ShardedDatabase {
     /// (lock-free read).
     pub fn out_of_order_inserts(&self) -> u64 {
         self.out_of_order_inserts.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of whole-shard **exclusive** lock acquisitions
+    /// taken by the append paths. Only registry growth (first contact
+    /// with a series or measurement) bumps this; steady-state appends to
+    /// existing series take none — the instrumented guarantee the
+    /// `sharded_props` suite pins down.
+    pub fn append_write_lock_acquisitions(&self) -> u64 {
+        self.append_write_locks.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of exclusive sweeps retention took to unregister
+    /// series that ran empty.
+    pub fn retention_sweep_lock_acquisitions(&self) -> u64 {
+        self.retention_sweep_locks.load(Ordering::Relaxed)
     }
 
     /// Number of distinct series currently stored, across all shards.
@@ -287,18 +445,11 @@ impl ShardedDatabase {
     /// format. Points come out in global `(measurement, tag set)` order —
     /// byte-identical to [`Database::snapshot`] over the same contents.
     pub fn snapshot(&self) -> bytes::Bytes {
-        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
+        let guards = self.read_all();
         let mut points = Vec::new();
-        for measurement in self.sorted_measurements(&guards) {
-            let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
-            for guard in &guards {
-                if let Some(series_map) = guard.series_of(&measurement) {
-                    per_series.extend(series_map.iter().map(|(t, s)| (t, s.samples())));
-                }
-            }
-            per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
-            for (tags, samples) in per_series {
-                for &(time, value) in samples {
+        for measurement in sorted_measurements(&guards) {
+            for (tags, series) in sorted_series(&guards, &measurement) {
+                for &(time, value) in &series.read().samples {
                     let mut point = Point::new(measurement.clone(), time, value);
                     for (k, v) in tags {
                         point = point.with_tag(k.clone(), v.clone());
@@ -324,19 +475,34 @@ impl ShardedDatabase {
         }
         Ok(db)
     }
+}
 
-    fn sorted_measurements(
-        &self,
-        guards: &[parking_lot::RwLockReadGuard<'_, Database>],
-    ) -> Vec<String> {
-        let mut names: Vec<String> = guards
-            .iter()
-            .flat_map(|g| g.measurement_names().into_iter().map(str::to_string))
-            .collect::<Vec<_>>();
-        names.sort_unstable();
-        names.dedup();
-        names
+/// One measurement's series merged across the held shard guards, sorted
+/// into the unsharded store's tag-set order — the single merge helper
+/// behind every whole-store read path.
+fn sorted_series<'g>(
+    guards: &'g [parking_lot::RwLockReadGuard<'_, Database>],
+    measurement: &str,
+) -> Vec<(&'g TagSet, &'g Series)> {
+    let mut series: Vec<(&TagSet, &Series)> = Vec::new();
+    for guard in guards {
+        if let Some(series_map) = guard.series_of(measurement) {
+            series.extend(series_map.iter());
+        }
     }
+    series.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    series
+}
+
+/// All measurement names across the held shard guards, sorted + deduped.
+fn sorted_measurements(guards: &[parking_lot::RwLockReadGuard<'_, Database>]) -> Vec<String> {
+    let mut names: Vec<String> = guards
+        .iter()
+        .flat_map(|g| g.measurement_names().into_iter().map(str::to_string))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names
 }
 
 /// Overwrites `tags[key]` in place, reusing the existing `String`
@@ -359,16 +525,10 @@ impl WindowSource for ShardedDatabase {
         hi: Option<SimTime>,
         emit: &mut dyn FnMut(SimTime, f64, &TagSet),
     ) {
-        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
-        let mut per_series: Vec<(&TagSet, &[(SimTime, f64)])> = Vec::new();
-        for guard in &guards {
-            if let Some(series_map) = guard.series_of(measurement) {
-                per_series.extend(series_map.iter().map(|(t, s)| (t, s.window(lo, hi))));
-            }
-        }
-        per_series.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        for (tags, samples) in per_series {
-            for &(time, value) in samples {
+        let guards = self.read_all();
+        for (tags, series) in sorted_series(&guards, measurement) {
+            let data = series.read();
+            for &(time, value) in data.window(lo, hi) {
                 emit(time, value, tags);
             }
         }
@@ -385,21 +545,15 @@ impl SeriesStore for ShardedDatabase {
     }
 
     fn for_each_series(&self, measurement: &str, visit: &mut dyn FnMut(SeriesRef<'_>)) {
-        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
-        let mut refs: Vec<SeriesRef<'_>> = Vec::new();
-        for guard in &guards {
-            if let Some(series_map) = guard.series_of(measurement) {
-                refs.extend(series_map.iter().map(|(tags, series)| SeriesRef {
-                    tags,
-                    id: series.id(),
-                    evicted: series.evicted_count(),
-                    samples: series.samples(),
-                }));
-            }
-        }
-        refs.sort_unstable_by(|a, b| a.tags.cmp(b.tags));
-        for series_ref in refs {
-            visit(series_ref);
+        let guards = self.read_all();
+        for (tags, series) in sorted_series(&guards, measurement) {
+            let data: MutexGuard<'_, SeriesData> = series.read();
+            visit(SeriesRef {
+                tags,
+                id: series.id(),
+                evicted: data.evicted,
+                samples: &data.samples,
+            });
         }
     }
 
@@ -411,33 +565,29 @@ impl SeriesStore for ShardedDatabase {
         visit: &mut dyn FnMut(SeriesRef<'_>),
     ) {
         let (lo, hi) = crate::storage::first_tag_range(key, value);
-        let guards: Vec<_> = self.shards.iter().map(RwLock::read).collect();
-        let mut refs: Vec<SeriesRef<'_>> = Vec::new();
+        let guards = self.read_all();
+        let mut series: Vec<(&TagSet, &Series)> = Vec::new();
         for guard in &guards {
             if let Some(series_map) = guard.series_of(measurement) {
-                refs.extend(
-                    series_map
-                        .range(lo.clone()..hi.clone())
-                        .map(|(tags, series)| SeriesRef {
-                            tags,
-                            id: series.id(),
-                            evicted: series.evicted_count(),
-                            samples: series.samples(),
-                        }),
-                );
+                series.extend(series_map.range(lo.clone()..hi.clone()));
             }
         }
-        refs.sort_unstable_by(|a, b| a.tags.cmp(b.tags));
-        for series_ref in refs {
-            visit(series_ref);
+        series.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        for (tags, series) in series {
+            let data = series.read();
+            visit(SeriesRef {
+                tags,
+                id: series.id(),
+                evicted: data.evicted,
+                samples: &data.samples,
+            });
         }
     }
 
     fn contains_series(&self, measurement: &str, tags: &TagSet) -> bool {
         self.shards[self.shard_of(measurement, tags)]
             .read()
-            .series_of(measurement)
-            .is_some_and(|series_map| series_map.contains_key(tags))
+            .contains_series(measurement, tags)
     }
 }
 
@@ -598,6 +748,79 @@ mod tests {
         single.insert_batch(&batch);
         assert_eq!(sharded.snapshot(), single.snapshot());
         assert_eq!(sharded.points_inserted(), 20);
+    }
+
+    #[test]
+    fn insert_batches_equals_frame_by_frame_insertion() {
+        let frames: Vec<PointBatch> = (0..6)
+            .map(|pass| {
+                let node = pass % 2;
+                let mut batch =
+                    PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(10 * pass as u64))
+                        .with_shared_tag("nodename", format!("n{node}"));
+                for pod in 0..5 {
+                    batch.push(format!("p{pod}"), (pass * 10 + pod) as f64);
+                }
+                batch
+            })
+            .collect();
+        for shards in [1, 3, 8] {
+            let coalesced = ShardedDatabase::new(shards);
+            coalesced.insert_batches(&frames);
+            let framed = ShardedDatabase::new(shards);
+            for frame in &frames {
+                framed.insert_batch(frame);
+            }
+            assert_eq!(coalesced.snapshot(), framed.snapshot(), "{shards} shards");
+            assert_eq!(coalesced.points_inserted(), framed.points_inserted());
+            assert_eq!(
+                coalesced.out_of_order_inserts(),
+                framed.out_of_order_inserts()
+            );
+        }
+    }
+
+    #[test]
+    fn existing_series_appends_take_no_exclusive_shard_lock() {
+        let db = ShardedDatabase::new(4);
+        let points = workload();
+        for point in &points {
+            db.insert(point.clone());
+        }
+        let creations = db.append_write_lock_acquisitions();
+        assert!(creations > 0, "first contacts must grow the registry");
+        // Steady state: every series exists, so appends — single-point
+        // and batched — must not take a single exclusive shard lock.
+        for point in &points {
+            db.insert(point.clone());
+        }
+        let mut batch = PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(99))
+            .with_shared_tag("nodename", "n0");
+        batch.push("p0", 1.0);
+        batch.push("p3", 2.0);
+        db.insert_batch(&batch);
+        assert_eq!(db.append_write_lock_acquisitions(), creations);
+    }
+
+    #[test]
+    fn retention_sweeps_only_when_series_empty() {
+        let db = ShardedDatabase::new(2);
+        for point in workload() {
+            db.insert(point);
+        }
+        // Nothing evicted: no sweep lock taken.
+        db.enforce_retention(SimTime::from_secs(60), SimDuration::from_secs(120));
+        assert_eq!(db.retention_sweep_lock_acquisitions(), 0);
+        // Partial trim (every series keeps its newest samples): still no
+        // exclusive sweep.
+        db.enforce_retention(SimTime::from_secs(60), SimDuration::from_secs(10));
+        assert_eq!(db.retention_sweep_lock_acquisitions(), 0);
+        assert!(db.points_evicted() > 0);
+        // Full trim: series run empty and must be unregistered.
+        db.enforce_retention(SimTime::from_secs(1000), SimDuration::from_secs(1));
+        assert!(db.retention_sweep_lock_acquisitions() > 0);
+        assert_eq!(db.series_count(), 0);
+        assert!(db.measurement_names().is_empty());
     }
 
     #[test]

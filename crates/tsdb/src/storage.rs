@@ -1,6 +1,9 @@
 //! Series storage and retention.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
 
 use des::{SimDuration, SimTime};
 
@@ -98,29 +101,21 @@ pub(crate) fn first_tag_range(key: &str, value: &str) -> (TagSet, TagSet) {
     (lo, hi)
 }
 
-/// One series: a measurement + tag-set pair with its time-ordered samples.
+/// The mutable interior of one series: its time-ordered samples plus the
+/// front-eviction counter. Guarded by the per-series [`Mutex`] in
+/// [`Series`] so appends and trims to *different* series never contend —
+/// the per-series locking the concurrent ingestion hot path relies on.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Series {
+pub(crate) struct SeriesData {
     /// Samples sorted by time (stable for equal timestamps).
-    samples: Vec<(SimTime, f64)>,
-    /// Identity assigned at creation, from a database-wide counter. Lets
-    /// the windowed cache tell a series apart from a later one with the
-    /// same tags (created after retention dropped the original).
-    id: u64,
+    pub(crate) samples: Vec<(SimTime, f64)>,
     /// Samples ever evicted from the front. `evicted + index` is a stable
     /// *absolute* position that front eviction cannot shift, which is what
     /// the windowed cache keys its ingestion cursors on.
-    evicted: u64,
+    pub(crate) evicted: u64,
 }
 
-impl Series {
-    fn with_id(id: u64) -> Self {
-        Series {
-            id,
-            ..Series::default()
-        }
-    }
-
+impl SeriesData {
     /// `true` when the insert appended in time order; `false` when it had
     /// to splice into the middle (out-of-order arrival).
     fn insert(&mut self, time: SimTime, value: f64) -> bool {
@@ -155,17 +150,82 @@ impl Series {
         };
         &self.samples[start..end.max(start)]
     }
+}
 
-    pub(crate) fn samples(&self) -> &[(SimTime, f64)] {
-        &self.samples
+/// One series: a measurement + tag-set pair with its time-ordered samples
+/// behind a per-series lock.
+///
+/// The registry (`Database::measurements`) maps the series key to this
+/// struct; the samples themselves live behind the `data` mutex so a
+/// writer appending through a *shared* reference (the lock-striped
+/// concurrent hot path) excludes only same-series writers and readers,
+/// never the rest of the shard.
+#[derive(Debug, Default)]
+pub(crate) struct Series {
+    /// The samples and eviction counter, per-series locked.
+    data: Mutex<SeriesData>,
+    /// Identity assigned at creation, from a database-wide counter. Lets
+    /// the windowed cache tell a series apart from a later one with the
+    /// same tags (created after retention dropped the original).
+    /// Immutable after creation, so reads take no lock.
+    id: u64,
+}
+
+impl Clone for Series {
+    fn clone(&self) -> Self {
+        Series {
+            data: Mutex::new(self.data.lock().clone()),
+            id: self.id,
+        }
+    }
+}
+
+impl Series {
+    fn with_id(id: u64) -> Self {
+        Series {
+            id,
+            ..Series::default()
+        }
+    }
+
+    /// Appends through a shared reference — the concurrent hot path.
+    /// Takes only this series' own lock. Returns `true` when the sample
+    /// landed in time order.
+    pub(crate) fn append(&self, time: SimTime, value: f64) -> bool {
+        self.data.lock().insert(time, value)
+    }
+
+    /// Insert through an exclusive reference (single-writer paths): no
+    /// lock is taken, `get_mut` proves uncontended access statically.
+    fn insert(&mut self, time: SimTime, value: f64) -> bool {
+        self.data.get_mut().insert(time, value)
+    }
+
+    fn evict_before(&mut self, cutoff: SimTime) -> usize {
+        self.data.get_mut().evict_before(cutoff)
+    }
+
+    /// Trims through a shared reference under the per-series lock (the
+    /// non-stalling retention path). Returns the evicted count and
+    /// whether the series is now empty — empties are swept from the
+    /// registry later, under a brief exclusive lock.
+    pub(crate) fn evict_before_shared(&self, cutoff: SimTime) -> (usize, bool) {
+        let mut data = self.data.lock();
+        let dropped = data.evict_before(cutoff);
+        (dropped, data.samples.is_empty())
+    }
+
+    /// Locks and exposes the samples — how every reader visits a series.
+    pub(crate) fn read(&self) -> MutexGuard<'_, SeriesData> {
+        self.data.lock()
+    }
+
+    fn is_empty_mut(&mut self) -> bool {
+        self.data.get_mut().samples.is_empty()
     }
 
     pub(crate) fn id(&self) -> u64 {
         self.id
-    }
-
-    pub(crate) fn evicted_count(&self) -> u64 {
-        self.evicted
     }
 }
 
@@ -190,37 +250,66 @@ impl Series {
 /// let rows = db.query(&q, SimTime::from_secs(2));
 /// assert_eq!(rows[0].value, 42.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     measurements: BTreeMap<String, BTreeMap<TagSet, Series>>,
-    points_inserted: u64,
-    points_evicted: u64,
+    /// Lifetime counters are atomics so the shared-reference append and
+    /// trim paths ([`try_append`](Self::try_append),
+    /// [`trim_all_series`](Self::trim_all_series)) can maintain them
+    /// without exclusive access. Relaxed ordering throughout: they are
+    /// monotone counters, not synchronisation edges.
+    points_inserted: AtomicU64,
+    points_evicted: AtomicU64,
     /// Id handed to each newly created series, advanced by
     /// `series_seq_step` — 1 for a standalone database; the shard count
     /// for a shard of a [`ShardedDatabase`](crate::ShardedDatabase), so
-    /// ids stay unique across shards without coordination.
+    /// ids stay unique across shards without coordination. Series
+    /// creation always holds exclusive access, so this stays a plain
+    /// integer.
     series_seq: u64,
     series_seq_step: u64,
     /// Bumped whenever an insert lands out of time order; the windowed
     /// cache watches this stamp and rebuilds when it moves.
-    out_of_order_inserts: u64,
-    /// Highest retention cutoff ever enforced: no stored sample is older
-    /// than this, and cached window state must discard anything older too.
-    eviction_cutoff: SimTime,
+    out_of_order_inserts: AtomicU64,
+    /// Highest retention cutoff ever enforced (µs): no stored sample is
+    /// older than this, and cached window state must discard anything
+    /// older too. Max-merged atomically by the shared-reference trim.
+    eviction_cutoff_us: AtomicU64,
 }
 
 impl Default for Database {
     fn default() -> Self {
         Database {
             measurements: BTreeMap::new(),
-            points_inserted: 0,
-            points_evicted: 0,
+            points_inserted: AtomicU64::new(0),
+            points_evicted: AtomicU64::new(0),
             series_seq: 0,
             series_seq_step: 1,
-            out_of_order_inserts: 0,
-            eviction_cutoff: SimTime::ZERO,
+            out_of_order_inserts: AtomicU64::new(0),
+            eviction_cutoff_us: AtomicU64::new(0),
         }
     }
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            measurements: self.measurements.clone(),
+            points_inserted: AtomicU64::new(self.points_inserted.load(Ordering::Relaxed)),
+            points_evicted: AtomicU64::new(self.points_evicted.load(Ordering::Relaxed)),
+            series_seq: self.series_seq,
+            series_seq_step: self.series_seq_step,
+            out_of_order_inserts: AtomicU64::new(self.out_of_order_inserts.load(Ordering::Relaxed)),
+            eviction_cutoff_us: AtomicU64::new(self.eviction_cutoff_us.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The retention cutoff `now - keep` (saturating at zero) — shared by
+/// every retention entry point so the single-store and sharded paths
+/// trim at the exact same instant.
+pub(crate) fn retention_cutoff(now: SimTime, keep: SimDuration) -> SimTime {
+    SimTime::from_micros(now.as_micros().saturating_sub(keep.as_micros()))
 }
 
 impl Database {
@@ -268,10 +357,46 @@ impl Database {
             })
             .insert(time, value);
         if !in_order {
-            self.out_of_order_inserts += 1;
+            self.out_of_order_inserts.fetch_add(1, Ordering::Relaxed);
         }
-        self.points_inserted += 1;
+        self.points_inserted.fetch_add(1, Ordering::Relaxed);
         in_order
+    }
+
+    /// Appends a sample to an **existing** series through a shared
+    /// reference — the lock-free-registry hot path of concurrent
+    /// ingestion. Only the series' own per-series lock is taken; the
+    /// registry is read untouched, so appends to different series (same
+    /// shard or not) proceed in parallel.
+    ///
+    /// Returns `None` when the measurement or series does not exist yet —
+    /// the caller must fall back to an exclusive-access insert
+    /// ([`insert_at`](Self::insert_at)) to grow the registry. Returns
+    /// `Some(in_order)` on success, exactly as `insert_at` reports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurement` is empty or `value` is not finite (the
+    /// same contract [`Point::new`] enforces).
+    pub fn try_append(
+        &self,
+        measurement: &str,
+        tags: &TagSet,
+        time: SimTime,
+        value: f64,
+    ) -> Option<bool> {
+        assert!(
+            !measurement.is_empty(),
+            "measurement name must not be empty"
+        );
+        assert!(value.is_finite(), "point value must be finite, got {value}");
+        let series = self.measurements.get(measurement)?.get(tags)?;
+        let in_order = series.append(time, value);
+        if !in_order {
+            self.out_of_order_inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.points_inserted.fetch_add(1, Ordering::Relaxed);
+        Some(in_order)
     }
 
     /// Inserts a sample by borrowed identity, allocating nothing when the
@@ -318,9 +443,9 @@ impl Database {
                 .insert(time, value)
         };
         if !in_order {
-            self.out_of_order_inserts += 1;
+            self.out_of_order_inserts.fetch_add(1, Ordering::Relaxed);
         }
-        self.points_inserted += 1;
+        self.points_inserted.fetch_add(1, Ordering::Relaxed);
         in_order
     }
 
@@ -356,17 +481,14 @@ impl Database {
     /// result is bit-for-bit identical to [`query`](Self::query).
     pub fn query_full_scan(&self, select: &Select, now: SimTime) -> Vec<Row> {
         let fetch = |measurement: &str| -> Vec<(SimTime, f64, &TagSet)> {
-            self.measurements
-                .get(measurement)
-                .map(|series_map| {
-                    series_map
-                        .iter()
-                        .flat_map(|(tags, series)| {
-                            series.samples.iter().map(move |&(t, v)| (t, v, tags))
-                        })
-                        .collect()
-                })
-                .unwrap_or_default()
+            let mut samples = Vec::new();
+            if let Some(series_map) = self.measurements.get(measurement) {
+                for (tags, series) in series_map {
+                    let data = series.read();
+                    samples.extend(data.samples.iter().map(|&(t, v)| (t, v, tags)));
+                }
+            }
+            samples
         };
         select.execute_full_scan(&fetch, now)
     }
@@ -376,29 +498,69 @@ impl Database {
     /// samples evicted. This is the retention-policy enforcement a real
     /// InfluxDB runs continuously.
     pub fn enforce_retention(&mut self, now: SimTime, keep: SimDuration) -> usize {
-        let cutoff = SimTime::from_micros(now.as_micros().saturating_sub(keep.as_micros()));
-        self.eviction_cutoff = self.eviction_cutoff.max(cutoff);
+        let cutoff = retention_cutoff(now, keep);
+        self.eviction_cutoff_us
+            .fetch_max(cutoff.as_micros(), Ordering::Relaxed);
         let mut evicted = 0;
         for series_map in self.measurements.values_mut() {
             for series in series_map.values_mut() {
                 evicted += series.evict_before(cutoff);
             }
-            series_map.retain(|_, s| !s.samples.is_empty());
+        }
+        self.sweep_empty_series();
+        self.points_evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Trims every series in place through a **shared** reference — the
+    /// non-stalling retention pass. Each series is locked individually
+    /// for exactly the duration of its own binary-search-and-drain, so
+    /// concurrent appends to other series never stall behind retention.
+    /// Emptied series stay registered (with their eviction counters) and
+    /// are swept later by [`sweep_empty_series`](Self::sweep_empty_series)
+    /// under a brief exclusive lock.
+    ///
+    /// Returns the number of samples evicted and whether any series is
+    /// now empty (i.e. a sweep is needed at all).
+    pub(crate) fn trim_all_series(&self, cutoff: SimTime) -> (usize, bool) {
+        self.eviction_cutoff_us
+            .fetch_max(cutoff.as_micros(), Ordering::Relaxed);
+        let mut evicted = 0;
+        let mut any_empty = false;
+        for series_map in self.measurements.values() {
+            for series in series_map.values() {
+                let (dropped, empty) = series.evict_before_shared(cutoff);
+                evicted += dropped;
+                any_empty |= empty;
+            }
+        }
+        self.points_evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        (evicted, any_empty)
+    }
+
+    /// Removes series (and measurements) that hold no samples — the
+    /// registry-shrinking tail of retention, the only part that needs
+    /// exclusive access. Emptiness is re-checked here under that
+    /// exclusive access, so a series that received an append between the
+    /// shared trim and this sweep survives.
+    pub(crate) fn sweep_empty_series(&mut self) {
+        for series_map in self.measurements.values_mut() {
+            series_map.retain(|_, series| !series.is_empty_mut());
         }
         self.measurements.retain(|_, m| !m.is_empty());
-        self.points_evicted += evicted as u64;
-        evicted
     }
 
     /// Lifetime count of inserts that arrived out of time order.
     pub fn out_of_order_inserts(&self) -> u64 {
-        self.out_of_order_inserts
+        self.out_of_order_inserts.load(Ordering::Relaxed)
     }
 
     /// The highest retention cutoff enforced so far ([`SimTime::ZERO`]
     /// before the first eviction).
     pub fn eviction_cutoff(&self) -> SimTime {
-        self.eviction_cutoff
+        SimTime::from_micros(self.eviction_cutoff_us.load(Ordering::Relaxed))
     }
 
     /// The series of one measurement, in tag-set order.
@@ -416,18 +578,18 @@ impl Database {
         self.measurements
             .values()
             .flat_map(BTreeMap::values)
-            .map(|s| s.samples.len())
+            .map(|s| s.read().samples.len())
             .sum()
     }
 
     /// Lifetime insert counter.
     pub fn points_inserted(&self) -> u64 {
-        self.points_inserted
+        self.points_inserted.load(Ordering::Relaxed)
     }
 
     /// Lifetime eviction counter.
     pub fn points_evicted(&self) -> u64 {
-        self.points_evicted
+        self.points_evicted.load(Ordering::Relaxed)
     }
 
     /// The measurement names currently stored, in sorted order.
@@ -441,7 +603,7 @@ impl Database {
         let mut points = Vec::with_capacity(self.point_count());
         for (measurement, series_map) in &self.measurements {
             for (tags, series) in series_map {
-                for &(time, value) in &series.samples {
+                for &(time, value) in &series.read().samples {
                     let mut point = Point::new(measurement.clone(), time, value);
                     for (k, v) in tags {
                         point = point.with_tag(k.clone(), v.clone());
@@ -478,11 +640,12 @@ impl SeriesStore for Database {
     fn for_each_series(&self, measurement: &str, visit: &mut dyn FnMut(SeriesRef<'_>)) {
         if let Some(series_map) = self.measurements.get(measurement) {
             for (tags, series) in series_map {
+                let data = series.read();
                 visit(SeriesRef {
                     tags,
                     id: series.id(),
-                    evicted: series.evicted_count(),
-                    samples: series.samples(),
+                    evicted: data.evicted,
+                    samples: &data.samples,
                 });
             }
         }
@@ -498,11 +661,12 @@ impl SeriesStore for Database {
         if let Some(series_map) = self.measurements.get(measurement) {
             let (lo, hi) = first_tag_range(key, value);
             for (tags, series) in series_map.range(lo..hi) {
+                let data = series.read();
                 visit(SeriesRef {
                     tags,
                     id: series.id(),
-                    evicted: series.evicted_count(),
-                    samples: series.samples(),
+                    evicted: data.evicted,
+                    samples: &data.samples,
                 });
             }
         }
@@ -525,7 +689,8 @@ impl WindowSource for Database {
     ) {
         if let Some(series_map) = self.measurements.get(measurement) {
             for (tags, series) in series_map {
-                for &(time, value) in series.window(lo, hi) {
+                let data = series.read();
+                for &(time, value) in data.window(lo, hi) {
                     emit(time, value, tags);
                 }
             }

@@ -168,6 +168,123 @@ proptest! {
         );
     }
 
+    /// Retention racing concurrent writers: writers own disjoint series
+    /// with per-series monotone timestamps while a retention thread
+    /// fires trims whose cutoffs never exceed the final cutoff. Whatever
+    /// samples the racing trims catch, the final trim finishes the job —
+    /// so the surviving window must be bit-identical to the sequential
+    /// ingest-everything-then-trim-once oracle.
+    #[test]
+    fn retention_racing_writers_matches_ingest_then_trim_oracle(
+        rows in prop::collection::vec((0u8..6, 0u64..3, 0.0f64..100.0), 1..120),
+        racing_keeps in prop::collection::vec(5u64..60, 1..6),
+        final_keep in 5u64..60,
+        shards in 1usize..6,
+        writers in 1usize..4,
+        window_secs in 1u64..30,
+    ) {
+        // Globally (hence per-series) monotone sample times: the probe
+        // topology — each tick's samples are newer than the last's.
+        let mut t = 0u64;
+        let points: Vec<(u8, Point)> = rows
+            .iter()
+            .map(|&(series, dt, value)| {
+                t += dt;
+                (series, point_for(series, SimTime::from_secs(t), value))
+            })
+            .collect();
+        let now = SimTime::from_secs(t + 60);
+
+        // Sequential oracle: ingest everything, then trim once.
+        let mut single = Database::new();
+        for (_, point) in &points {
+            single.insert(point.clone());
+        }
+        single.enforce_retention(now, SimDuration::from_secs(final_keep));
+
+        let sharded = ShardedDatabase::new(shards);
+        crossbeam::thread::scope(|scope| {
+            for writer in 0..writers {
+                let points = &points;
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for (series, point) in points {
+                        if *series as usize % writers == writer {
+                            sharded.insert(point.clone());
+                        }
+                    }
+                });
+            }
+            // Retention ticks racing the writers. Clamping keep to
+            // ≥ final_keep keeps every racing cutoff ≤ the final cutoff,
+            // which is what makes the end state interleaving-independent.
+            let keeps = &racing_keeps;
+            let sharded = &sharded;
+            scope.spawn(move || {
+                for &keep in keeps {
+                    sharded.enforce_retention(
+                        now,
+                        SimDuration::from_secs(keep.max(final_keep)),
+                    );
+                }
+            });
+        });
+        sharded.enforce_retention(now, SimDuration::from_secs(final_keep));
+
+        prop_assert_eq!(sharded.snapshot(), single.snapshot());
+        prop_assert_eq!(sharded.point_count(), single.point_count());
+        prop_assert_eq!(sharded.points_inserted(), single.points_inserted());
+        // Every sample below the final cutoff is dropped exactly once
+        // (by whichever trim reaches it first), and no racing cutoff can
+        // touch a surviving sample — so the lifetime eviction counters
+        // agree too.
+        prop_assert_eq!(sharded.points_evicted(), single.points_evicted());
+        prop_assert_eq!(sharded.out_of_order_inserts(), single.out_of_order_inserts());
+        let select = listing1(window_secs);
+        prop_assert_eq!(sharded.query(&select, now), single.query(&select, now));
+        prop_assert_eq!(
+            sharded.query_full_scan(&select, now),
+            single.query_full_scan(&select, now)
+        );
+    }
+
+    /// The instrumented lock-free guarantee: once every series exists,
+    /// replaying the whole stream — per point and batched — takes zero
+    /// whole-shard exclusive lock acquisitions.
+    #[test]
+    fn warmed_append_path_takes_no_exclusive_shard_locks(
+        rows in prop::collection::vec((0u8..8, 0u64..1000, 0.0f64..100.0), 1..60),
+        shards in 1usize..6,
+    ) {
+        let sharded = ShardedDatabase::new(shards);
+        for &(series, t, value) in &rows {
+            sharded.insert(point_for(series, SimTime::from_secs(t), value));
+        }
+        let creations = sharded.append_write_lock_acquisitions();
+        prop_assert!(creations >= 1, "first contact must grow the registry");
+
+        // Warmed per-point replay: no exclusive registry locks.
+        for &(series, t, value) in &rows {
+            sharded.insert(point_for(series, SimTime::from_secs(t + 1), value));
+        }
+        prop_assert_eq!(sharded.append_write_lock_acquisitions(), creations);
+
+        // Warmed batched replay over the same series keys: still none.
+        for node in 0..3u8 {
+            let mut batch = PointBatch::new("sgx/epc", "pod_name", SimTime::from_secs(2000))
+                .with_shared_tag("nodename", format!("n{node}"));
+            for &(series, _, value) in &rows {
+                if series % 3 == node {
+                    batch.push(format!("p{}", series % 4), value);
+                }
+            }
+            if !batch.is_empty() {
+                sharded.insert_batch(&batch);
+            }
+        }
+        prop_assert_eq!(sharded.append_write_lock_acquisitions(), creations);
+    }
+
     /// The batch wire frame decodes back to exactly the encoded batch,
     /// and ingesting a batch equals ingesting its expanded points.
     #[test]
