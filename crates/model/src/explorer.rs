@@ -1,0 +1,155 @@
+//! Breadth-first exhaustive exploration with state-hash deduplication.
+//!
+//! Plain stateright-style search, written in-repo since the build is
+//! offline: an arena of canonicalized states, a hash index for
+//! deduplication, parent links for counterexample traces, and a bound
+//! that turns the same search into a smoke test.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::invariants::{check_state, check_transition, Violation};
+use crate::machine::Model;
+use crate::state::Action;
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Stop discovering once this many distinct states exist. The run
+    /// is marked truncated when the cap fires.
+    pub max_states: usize,
+}
+
+impl Bounds {
+    /// No cap: explore the full reachable space.
+    pub fn exhaustive() -> Self {
+        Bounds {
+            max_states: usize::MAX,
+        }
+    }
+
+    /// A smoke bound: explore at most `max_states` distinct states.
+    pub fn smoke(max_states: usize) -> Self {
+        Bounds { max_states }
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug)]
+pub struct Report {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions explored (including ones into already-known states).
+    pub transitions: usize,
+    /// Whether the state cap fired before the space was exhausted.
+    pub truncated: bool,
+    /// Longest action path from the initial state to any visited state.
+    pub max_depth: usize,
+    /// First counterexample found per violated invariant, shortest
+    /// trace first.
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// The violation for one invariant, if that invariant failed.
+    pub fn violation(&self, invariant: &str) -> Option<&Violation> {
+        self.violations.iter().find(|v| v.invariant == invariant)
+    }
+}
+
+/// Explores every state reachable from [`Model::initial`] breadth-first,
+/// deduplicating structurally identical states, and checks the invariant
+/// catalogue on each new state and each transition. BFS order makes
+/// every reported trace a shortest counterexample.
+pub fn explore(model: &Model, bounds: &Bounds) -> Report {
+    let mut arena = Vec::new();
+    let mut index = HashMap::new();
+    let mut parent: Vec<Option<(usize, Action)>> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut frontier = VecDeque::new();
+    // First violation per invariant; BTreeMap for deterministic order.
+    let mut violations: BTreeMap<&'static str, Violation> = BTreeMap::new();
+    let mut transitions = 0;
+    let mut truncated = false;
+
+    let initial = model.initial();
+    index.insert(initial.clone(), 0);
+    arena.push(initial);
+    parent.push(None);
+    depth.push(0);
+    frontier.push_back(0);
+    for (invariant, detail, continuation, alternative) in check_state(model, &arena[0]) {
+        violations.entry(invariant).or_insert(Violation {
+            invariant,
+            detail,
+            trace: Vec::new(),
+            continuation,
+            alternative,
+        });
+    }
+
+    'search: while let Some(current) = frontier.pop_front() {
+        let state = arena[current].clone();
+        for action in model.enabled_actions(&state) {
+            let (next, effects) = model.step(&state, action);
+            transitions += 1;
+            for (invariant, detail, continuation, alternative) in check_transition(action, &effects)
+            {
+                violations.entry(invariant).or_insert_with(|| Violation {
+                    invariant,
+                    detail,
+                    trace: trace_to(&parent, current),
+                    continuation,
+                    alternative,
+                });
+            }
+            if index.contains_key(&next) {
+                continue;
+            }
+            let id = arena.len();
+            index.insert(next.clone(), id);
+            parent.push(Some((current, action)));
+            depth.push(depth[current] + 1);
+            for (invariant, detail, continuation, alternative) in check_state(model, &next) {
+                violations.entry(invariant).or_insert_with(|| Violation {
+                    invariant,
+                    detail,
+                    trace: trace_to_child(&parent, current, action),
+                    continuation,
+                    alternative,
+                });
+            }
+            arena.push(next);
+            frontier.push_back(id);
+            if arena.len() >= bounds.max_states {
+                truncated = true;
+                break 'search;
+            }
+        }
+    }
+
+    Report {
+        states: arena.len(),
+        transitions,
+        truncated,
+        max_depth: depth.iter().copied().max().unwrap_or(0),
+        violations: violations.into_values().collect(),
+    }
+}
+
+/// The action path from the initial state to `state`.
+fn trace_to(parent: &[Option<(usize, Action)>], mut state: usize) -> Vec<Action> {
+    let mut actions = Vec::new();
+    while let Some((prev, action)) = parent[state] {
+        actions.push(action);
+        state = prev;
+    }
+    actions.reverse();
+    actions
+}
+
+/// The action path to a just-discovered child of `state` via `action`.
+fn trace_to_child(parent: &[Option<(usize, Action)>], state: usize, action: Action) -> Vec<Action> {
+    let mut actions = trace_to(parent, state);
+    actions.push(action);
+    actions
+}

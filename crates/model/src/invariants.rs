@@ -1,0 +1,253 @@
+//! The invariant catalogue, checked on every reachable state and
+//! transition.
+//!
+//! State invariants (`epc-oversubscription`, `pod-conservation`,
+//! `reorder-insensitive`) run once per *new* state; transition
+//! invariants (`migration-terminal`, `drain-capture-bound`) run on the
+//! [`StepEffects`](crate::StepEffects) of every explored transition.
+//!
+//! # Adding an invariant
+//!
+//! Write a function here returning `Option<(name, detail,
+//! continuation, alternative)>`, call it from
+//! [`check_state`]/[`check_transition`], and give the counterexample a
+//! continuation the conformance bridge can replay (the trace reaches the
+//! violating state; the continuation demonstrates the violation on the
+//! implementation).
+
+use crate::machine::{Model, StepEffects};
+use crate::state::{Action, ModelState, PodPhase};
+
+/// One invariant violation with its counterexample.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+    /// Shortest action sequence from the initial state to the violating
+    /// state (BFS order guarantees minimality).
+    pub trace: Vec<Action>,
+    /// Primary continuation demonstrating the violation (empty for
+    /// plain state violations).
+    pub continuation: Vec<Action>,
+    /// Alternative continuation for divergence-style violations: the
+    /// invariant claims `continuation` and `alternative` must lead to
+    /// identical decisions, and in this state they do not.
+    pub alternative: Vec<Action>,
+}
+
+/// A not-yet-traced violation: everything but the trace, which the
+/// explorer attaches from its parent links.
+pub(crate) type Finding = (&'static str, String, Vec<Action>, Vec<Action>);
+
+/// EPC is never oversubscribed beyond policy intent: per node, admitted
+/// requests fit within capacity.
+fn oversubscription(model: &Model, state: &ModelState) -> Option<Finding> {
+    for node in 0..model.config().nodes() as u8 {
+        let requested = model.requested(state, node);
+        let capacity = model.config().node_capacity[node as usize];
+        if requested > capacity {
+            return Some((
+                "epc-oversubscription",
+                format!("node {node} holds {requested} requested pages over capacity {capacity}"),
+                Vec::new(),
+                Vec::new(),
+            ));
+        }
+    }
+    None
+}
+
+/// No pod is lost or double-bound: phases, residency and the queue are
+/// mutually consistent.
+fn conservation(model: &Model, state: &ModelState) -> Option<Finding> {
+    let fail = |detail: String| Some(("pod-conservation", detail, Vec::new(), Vec::new()));
+    for pod in 0..model.config().pods() as u8 {
+        let homes: Vec<u8> = (0..model.config().nodes() as u8)
+            .filter(|&n| state.nodes[n as usize].residents.contains(&pod))
+            .collect();
+        let queued = state.queue.iter().filter(|&&p| p == pod).count();
+        match state.pods[pod as usize] {
+            PodPhase::Pending => {
+                if !homes.is_empty() {
+                    return fail(format!("pending pod {pod} resident on {homes:?}"));
+                }
+                if queued != 1 {
+                    return fail(format!("pending pod {pod} queued {queued} times"));
+                }
+            }
+            PodPhase::Bound(node) => {
+                if homes != [node] {
+                    return fail(format!(
+                        "pod {pod} bound to {node} but resident on {homes:?}"
+                    ));
+                }
+                if queued != 0 {
+                    return fail(format!("bound pod {pod} still queued"));
+                }
+                if state.nodes[node as usize].crashed {
+                    return fail(format!("pod {pod} bound to crashed node {node}"));
+                }
+            }
+            PodPhase::Done => {
+                if !homes.is_empty() || queued != 0 {
+                    return fail(format!("done pod {pod} still resident or queued"));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Scheduling decisions are insensitive to probe-frame delivery order,
+/// and frames scraped before a node's recovery are inert.
+///
+/// Two sub-checks, each a pair of continuations that must produce
+/// identical [`Model::schedule_decisions`]:
+///
+/// * **permutation** — delivering every in-flight frame oldest-first
+///   versus newest-first. Delivery is a set-union plus max-merge, so
+///   this holds structurally; it is the regression net under the
+///   reorder vocabulary itself.
+/// * **superseded** — dropping versus delivering every frame scraped
+///   before its node's recovery epoch. Under the stale-recovery bug the
+///   delivered phantom samples change effective occupancy and with it
+///   the next pass's decisions.
+fn reorder(model: &Model, state: &ModelState) -> Option<Finding> {
+    if state.in_flight.len() >= 2 {
+        let forward: Vec<Action> = state.in_flight.iter().map(|_| Action::Deliver(0)).collect();
+        let backward: Vec<Action> = (0..state.in_flight.len() as u8)
+            .rev()
+            .map(Action::Deliver)
+            .collect();
+        if let Some(finding) = diverges(
+            model,
+            state,
+            &forward,
+            &backward,
+            "frame delivery order changes the next pass",
+        ) {
+            return Some(finding);
+        }
+    }
+    let superseded: Vec<u8> = state
+        .in_flight
+        .iter()
+        .enumerate()
+        .filter(|(_, frame)| {
+            state.nodes[frame.node as usize]
+                .rejoined_at
+                .is_some_and(|rejoined| frame.scraped_at < rejoined)
+        })
+        .map(|(i, _)| i as u8)
+        .collect();
+    if !superseded.is_empty() {
+        // Highest index first, so earlier removals do not shift later ones.
+        let dropped: Vec<Action> = superseded.iter().rev().map(|&i| Action::Drop(i)).collect();
+        let delivered: Vec<Action> = superseded
+            .iter()
+            .rev()
+            .map(|&i| Action::Deliver(i))
+            .collect();
+        if let Some(finding) = diverges(
+            model,
+            state,
+            &dropped,
+            &delivered,
+            "pre-recovery frames are not inert",
+        ) {
+            return Some(finding);
+        }
+    }
+    None
+}
+
+/// Applies two continuations to copies of `state` and reports a
+/// reorder-insensitivity finding when the resulting scheduler decisions
+/// differ.
+fn diverges(
+    model: &Model,
+    state: &ModelState,
+    primary: &[Action],
+    alternative: &[Action],
+    what: &str,
+) -> Option<Finding> {
+    let a = decisions_after(model, state, primary);
+    let b = decisions_after(model, state, alternative);
+    (a != b).then(|| {
+        let mut primary = primary.to_vec();
+        primary.push(Action::Schedule);
+        let mut alternative = alternative.to_vec();
+        alternative.push(Action::Schedule);
+        (
+            "reorder-insensitive",
+            format!("{what}: {a:?} vs {b:?}"),
+            primary,
+            alternative,
+        )
+    })
+}
+
+fn decisions_after(model: &Model, state: &ModelState, continuation: &[Action]) -> Vec<(u8, u8)> {
+    let mut work = state.clone();
+    for &action in continuation {
+        work = model.step(&work, action).0;
+    }
+    model.schedule_decisions(&work)
+}
+
+/// State invariants, run once per newly discovered state.
+pub(crate) fn check_state(model: &Model, state: &ModelState) -> Vec<Finding> {
+    [
+        oversubscription(model, state),
+        conservation(model, state),
+        reorder(model, state),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Transition invariants, run on every explored transition's effects.
+pub(crate) fn check_transition(action: Action, effects: &StepEffects) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if let Some(reb) = effects.rebalance {
+        if reb.iterations_capped {
+            findings.push((
+                "migration-terminal",
+                "rebalance pass exhausted its iteration budget".to_string(),
+                vec![action],
+                Vec::new(),
+            ));
+        }
+        // Armed but impotent: the metric demands a rebalance while the
+        // set the rebalancer can actually move load between is already
+        // within threshold — every pass from here on burns work without
+        // reducing what the metric measures.
+        if reb.metric_armed && reb.moves == 0 && !reb.eligible_spread_exceeds {
+            findings.push((
+                "migration-terminal",
+                "arming metric exceeds the threshold over a node set the rebalancer \
+                 cannot move load between (cordoned nodes counted)"
+                    .to_string(),
+                vec![action],
+                Vec::new(),
+            ));
+        }
+    }
+    if let Some(drain) = effects.drain {
+        if drain.captures > 1 {
+            findings.push((
+                "drain-capture-bound",
+                format!(
+                    "drain of {} pods captured {} scheduling snapshots (bound: 1)",
+                    drain.evicted, drain.captures
+                ),
+                vec![action],
+                Vec::new(),
+            ));
+        }
+    }
+    findings
+}

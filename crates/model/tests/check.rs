@@ -1,0 +1,250 @@
+//! The model-checking gate: exhaustive exploration of the small
+//! configuration, counterexample discovery under the reintroduced-bug
+//! semantics, and model↔implementation conformance replays for every
+//! counterexample the checker emits.
+
+use model::bridge;
+use model::{explore, Action, Bounds, Model, ModelConfig, Semantics};
+use simulation::TraceHarness;
+
+/// Replays `actions` on a fresh harness (after the submission prefix)
+/// and returns it.
+fn replay(config: &ModelConfig, actions: &[Action]) -> TraceHarness {
+    let mut harness = bridge::harness(config);
+    for op in bridge::trace_ops(config, actions) {
+        harness.apply(&op);
+    }
+    harness
+}
+
+/// Steps the fixed-semantics model and the real orchestrator through the
+/// same trace in lockstep, comparing the decisions of every scheduler
+/// pass and auditing the implementation after every op.
+fn assert_conforms(config: &ModelConfig, actions: &[Action]) {
+    let model = Model::new(config.clone().with_semantics(Semantics::fixed()));
+    let mut state = model.initial();
+    let mut harness = bridge::harness(config);
+    for op in bridge::submit_ops(config) {
+        harness.apply(&op);
+    }
+    for &action in actions {
+        let predicted = match action {
+            Action::Schedule => Some(bridge::named_decisions(&model.schedule_decisions(&state))),
+            _ => None,
+        };
+        let before = harness.decisions().len();
+        harness.apply(&bridge::trace_op(config, action));
+        if let Some(predicted) = predicted {
+            let got = harness.decisions()[before..].to_vec();
+            assert_eq!(got, predicted, "decision divergence at {action:?}");
+        }
+        state = model.step(&state, action).0;
+    }
+    assert!(
+        harness.audit_failures().is_empty(),
+        "implementation invariants violated: {:?}",
+        harness.audit_failures()
+    );
+}
+
+#[test]
+fn exhaustive_small_config_holds_all_invariants() {
+    let model = Model::new(ModelConfig::small());
+    let report = explore(&model, &Bounds::exhaustive());
+    println!(
+        "small config: {} distinct states, {} transitions, depth {}",
+        report.states, report.transitions, report.max_depth
+    );
+    assert!(!report.truncated, "exploration must be exhaustive");
+    assert!(
+        report.violations.is_empty(),
+        "fixed semantics must satisfy every invariant: {:?}",
+        report.violations
+    );
+    assert!(report.states > 1_000, "suspiciously small state space");
+}
+
+#[test]
+fn exhaustive_tiny_config_holds_all_invariants() {
+    let model = Model::new(ModelConfig::tiny());
+    let report = explore(&model, &Bounds::exhaustive());
+    assert!(!report.truncated);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn smoke_bound_truncates_within_budget() {
+    let started = std::time::Instant::now();
+    let model = Model::new(ModelConfig::small());
+    let report = explore(&model, &Bounds::smoke(2_000));
+    assert!(report.truncated, "the smoke bound must fire");
+    assert_eq!(report.states, 2_000);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "smoke exploration blew its wall-clock budget"
+    );
+}
+
+#[test]
+fn stale_recovery_bug_found_and_refuted_on_implementation() {
+    let config = ModelConfig::small().with_semantics(Semantics::bug_stale_recovery());
+    let report = explore(&Model::new(config.clone()), &Bounds::exhaustive());
+    let violation = report
+        .violation("reorder-insensitive")
+        .expect("the stale-recovery semantics must break reorder insensitivity");
+    println!(
+        "counterexample: {:?} / {}",
+        violation.trace, violation.detail
+    );
+
+    // The fixed implementation refutes the counterexample: dropping and
+    // delivering the pre-recovery frames must decide identically.
+    let mut primary = violation.trace.clone();
+    primary.extend_from_slice(&violation.continuation);
+    let mut alternative = violation.trace.clone();
+    alternative.extend_from_slice(&violation.alternative);
+    let a = replay(&config, &primary);
+    let b = replay(&config, &alternative);
+    assert!(a.audit_failures().is_empty(), "{:?}", a.audit_failures());
+    assert!(b.audit_failures().is_empty(), "{:?}", b.audit_failures());
+    assert_eq!(
+        a.decisions(),
+        b.decisions(),
+        "the implementation's recovery quarantine must make pre-crash frames inert"
+    );
+
+    // And the fixed model conforms to the implementation along both
+    // replayed interleavings.
+    assert_conforms(&config, &primary);
+    assert_conforms(&config, &alternative);
+}
+
+#[test]
+fn cordon_blind_imbalance_bug_found_and_refuted_on_implementation() {
+    let config = ModelConfig::small().with_semantics(Semantics::bug_cordon_blind_imbalance());
+    let report = explore(&Model::new(config.clone()), &Bounds::exhaustive());
+    let violation = report
+        .violation("migration-terminal")
+        .expect("the cordon-blind metric must arm an impotent rebalance");
+    println!(
+        "counterexample: {:?} / {}",
+        violation.trace, violation.detail
+    );
+
+    // Replay up to the violating state, then take the rebalance the
+    // model flagged. The implementation's metric is computed over the
+    // movable set, so it must not be armed — and the pass must be a
+    // no-op rather than the start of a forever-arming loop.
+    let harness = replay(&config, &violation.trace);
+    let threshold = config.rebalance_threshold_milli as f64 / 1000.0;
+    assert!(
+        harness.orchestrator().epc_imbalance() <= threshold,
+        "the implementation metric must not count cordoned nodes"
+    );
+    let before = harness.decisions().len();
+    let mut with_rebalance = violation.trace.clone();
+    with_rebalance.extend_from_slice(&violation.continuation);
+    let harness = replay(&config, &with_rebalance);
+    assert_eq!(
+        harness.decisions().len(),
+        before,
+        "an unarmed rebalance pass must not migrate anything"
+    );
+    assert_conforms(&config, &with_rebalance);
+}
+
+#[test]
+fn per_pod_drain_capture_bug_found_and_refuted_on_implementation() {
+    let config = ModelConfig::small().with_semantics(Semantics::bug_per_pod_drain_capture());
+    let report = explore(&Model::new(config.clone()), &Bounds::exhaustive());
+    let violation = report
+        .violation("drain-capture-bound")
+        .expect("per-pod capture must blow the one-snapshot drain bound");
+    println!(
+        "counterexample: {:?} / {}",
+        violation.trace, violation.detail
+    );
+
+    // Replay to just before the drain, then measure what the drain
+    // costs the implementation: exactly one snapshot capture, however
+    // many pods it evicts.
+    let harness = replay(&config, &violation.trace);
+    let captures_before = harness.orchestrator().snapshot_captures();
+    let mut with_drain = violation.trace.clone();
+    with_drain.extend_from_slice(&violation.continuation);
+    let harness = replay(&config, &with_drain);
+    let moved = harness.decisions().len();
+    assert!(
+        moved >= 2,
+        "the counterexample drain must evict several pods"
+    );
+    assert_eq!(
+        harness.orchestrator().snapshot_captures() - captures_before,
+        1,
+        "a drain must thread one scheduling snapshot across all evictions"
+    );
+    assert_conforms(&config, &with_drain);
+}
+
+#[test]
+fn fixed_model_conforms_along_representative_traces() {
+    // The exploration bounds (horizon, scrape budget) tame the
+    // exhaustive search; replay has no such pressure, so widen them to
+    // fit longer hand-written scenarios.
+    let mut config = ModelConfig::small();
+    config.horizon = 3;
+    config.max_scrapes = 2;
+    let traces: &[&[Action]] = &[
+        // Bind, observe, age, complete, re-bind.
+        &[
+            Action::Schedule,
+            Action::Scrape,
+            Action::Deliver(0),
+            Action::Deliver(0),
+            Action::Deliver(0),
+            Action::Tick,
+            Action::Complete(0),
+            Action::Schedule,
+        ],
+        // Scrapes age past the staleness threshold.
+        &[
+            Action::Schedule,
+            Action::Scrape,
+            Action::Deliver(0),
+            Action::Deliver(1),
+            Action::Drop(0),
+            Action::Tick,
+            Action::Tick,
+            Action::Tick,
+            Action::Complete(1),
+            Action::Schedule,
+        ],
+        // Crash with a frame in flight, recover, quarantine lifts on a
+        // fresh scrape only.
+        &[
+            Action::Schedule,
+            Action::Scrape,
+            Action::Crash(0),
+            Action::Recover(0),
+            Action::Deliver(0),
+            Action::Schedule,
+            Action::Scrape,
+            Action::Deliver(0),
+            Action::Deliver(0),
+            Action::Deliver(0),
+            Action::Schedule,
+        ],
+        // Drain and un-cordon.
+        &[
+            Action::Schedule,
+            Action::Drain(0),
+            Action::Uncordon(0),
+            Action::Schedule,
+        ],
+        // Rebalance an asymmetric fill.
+        &[Action::Schedule, Action::Rebalance, Action::Schedule],
+    ];
+    for trace in traces {
+        assert_conforms(&config, trace);
+    }
+}

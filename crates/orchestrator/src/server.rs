@@ -1,7 +1,7 @@
 //! The master-side control loop: submission, scheduling passes, probe
 //! collection and pod completion.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
@@ -290,6 +290,13 @@ pub struct Orchestrator {
     /// *delivery*, not sampling: a frame lost in transit keeps the node
     /// stale). Absent until the node's first delivered scrape.
     last_scrape: BTreeMap<NodeName, SimTime>,
+    /// Recovery epoch per node: set when a crashed node rejoins with a
+    /// fresh (empty-state) kubelet, cleared by the first scrape sampled
+    /// at or after it. While present, the node's view is forced
+    /// degraded (requests-only) — whatever the tsdb still holds from
+    /// before the crash describes pods that died with the old kubelet —
+    /// and frames sampled before the epoch are dropped at ingest.
+    recovered_at: BTreeMap<NodeName, SimTime>,
     /// Placement decisions taken while at least one node's view was
     /// degraded by stale metrics.
     degraded_decisions: u64,
@@ -311,6 +318,10 @@ pub struct Orchestrator {
     /// Scheduling passes taken so far; seeds the candidate-rotation
     /// cursor of sampled placements.
     pass_counter: u64,
+    /// Snapshot captures performed so far (full or incremental).
+    /// Observability for the drain regression tests: a whole drain must
+    /// cost exactly one capture, not one per evicted pod.
+    snapshot_captures: Cell<u64>,
     next_uid: u64,
     rng: StdRng,
 }
@@ -342,11 +353,13 @@ impl Orchestrator {
             records: BTreeMap::new(),
             events: EventLog::with_capacity(100_000),
             last_scrape: BTreeMap::new(),
+            recovered_at: BTreeMap::new(),
             degraded_decisions: 0,
             dirty: RefCell::new(BTreeSet::new()),
             last_sample: BTreeMap::new(),
             snapshot_cache: RefCell::new(None),
             pass_counter: 0,
+            snapshot_captures: Cell::new(0),
             next_uid: 1,
         }
     }
@@ -613,6 +626,18 @@ impl Orchestrator {
     /// was sampled — a delayed frame arriving after a newer one must not
     /// roll freshness backwards, so the stamp is max-merged.
     pub fn ingest_frame(&mut self, node: &NodeName, batch: &PointBatch, scraped_at: SimTime) {
+        // A frame sampled before the node's last recovery describes the
+        // pre-crash kubelet: its pods died with the crash and its
+        // delivery proves nothing about the rebooted node. Admitting it
+        // would resurrect phantom occupancy (and freshness), so the
+        // whole frame is void.
+        if self
+            .recovered_at
+            .get(node)
+            .is_some_and(|&epoch| scraped_at < epoch)
+        {
+            return;
+        }
         self.db.insert_batch(batch);
         if !batch.is_empty() {
             self.record_sample(node, scraped_at);
@@ -651,6 +676,18 @@ impl Orchestrator {
     /// Age of a node's last delivered scrape, `None` if never scraped.
     pub fn metrics_age(&self, node: &NodeName, now: SimTime) -> Option<SimDuration> {
         self.last_scrape.get(node).map(|&t| now.saturating_since(t))
+    }
+
+    /// Whether a node is under recovery quarantine: it rejoined after a
+    /// crash and no scrape sampled since has been delivered, so its view
+    /// is forced degraded regardless of scrape age. Part of the staleness
+    /// rule — exposed so external from-scratch oracles can reproduce it.
+    pub fn recovery_pending(&self, node: &NodeName) -> bool {
+        self.recovered_at.get(node).is_some_and(|&epoch| {
+            self.last_scrape
+                .get(node)
+                .is_none_or(|&scraped| scraped < epoch)
+        })
     }
 
     /// Placement decisions taken while stale metrics had degraded at
@@ -820,6 +857,7 @@ impl Orchestrator {
     /// shared with the previous pass's snapshot. Bit-identical to a full
     /// capture (property-tested in `tests/snapshot_incremental.rs`).
     pub fn capture_snapshot(&self, now: SimTime) -> ClusterSnapshot {
+        self.snapshot_captures.set(self.snapshot_captures.get() + 1);
         let window = self.config.metrics_window;
         // Retention shorter than the query window could evict in-window
         // samples behind the dirty tracking's back; full captures are
@@ -930,6 +968,24 @@ impl Orchestrator {
             view.metrics_age = Some(age);
             view.degraded = age > threshold;
         }
+        // A node under recovery quarantine is degraded regardless of how
+        // fresh its pre-crash scrape stamp still looks: nothing delivered
+        // since the kubelet rebooted, so measured usage is hearsay about
+        // pods that died with the crash. The epoch entry persists past
+        // the lifting scrape on purpose — clearing it would make frame
+        // delivery order-sensitive (a post-recovery frame clearing the
+        // entry would re-admit a later-arriving pre-crash frame).
+        for (name, &epoch) in &self.recovered_at {
+            let lifted = self
+                .last_scrape
+                .get(name)
+                .is_some_and(|&scraped| scraped >= epoch);
+            if !lifted {
+                if let Some(view) = nodes.get_mut(name) {
+                    view.degraded = true;
+                }
+            }
+        }
     }
 
     /// Stamps a view with per-node metrics ages and degrades nodes whose
@@ -945,6 +1001,99 @@ impl Orchestrator {
     /// Usage counters of the sliding-window query cache.
     pub fn window_cache_stats(&self) -> tsdb::CacheStats {
         self.window_cache.borrow().stats()
+    }
+
+    /// Snapshot captures performed so far, full and incremental alike —
+    /// observability for the capture-cost regressions (a whole drain
+    /// must cost exactly one).
+    pub fn snapshot_captures(&self) -> u64 {
+        self.snapshot_captures.get()
+    }
+
+    /// Cross-checks the orchestrator's bookkeeping against the cluster:
+    /// the implementation-side invariant hooks the model-checker's
+    /// conformance harness audits after every replayed trace event.
+    /// Returns human-readable violations; empty means consistent.
+    ///
+    /// * **No EPC/memory oversubscription by requests** — admission's
+    ///   contract: each node's admitted requests fit its allocatable
+    ///   capacity.
+    /// * **No pod lost or double-bound** — every record agrees with node
+    ///   residency and the pending queue: a `Running` pod is resident on
+    ///   exactly its recorded node and nowhere else, a `Pending` pod is
+    ///   queued and resident nowhere, terminal pods hold nothing, and no
+    ///   node hosts a pod without a record.
+    pub fn audit_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for node in self.cluster.nodes() {
+            if node.epc_requested() > node.allocatable_epc() {
+                violations.push(format!(
+                    "node {} EPC oversubscribed: {} requested > {} allocatable",
+                    node.name(),
+                    node.epc_requested(),
+                    node.allocatable_epc()
+                ));
+            }
+            if node.memory_requested() > node.allocatable_memory() {
+                violations.push(format!(
+                    "node {} memory oversubscribed: {} requested > {} allocatable",
+                    node.name(),
+                    node.memory_requested(),
+                    node.allocatable_memory()
+                ));
+            }
+        }
+        let queued: BTreeSet<PodUid> = self.queue.iter().map(|p| p.uid).collect();
+        let mut residency: BTreeMap<PodUid, Vec<&NodeName>> = BTreeMap::new();
+        for node in self.cluster.nodes() {
+            for uid in node.pods().keys() {
+                residency.entry(*uid).or_default().push(node.name());
+            }
+        }
+        for (uid, nodes) in &residency {
+            if nodes.len() > 1 {
+                violations.push(format!("pod {uid} double-bound: resident on {nodes:?}"));
+            }
+            if !self.records.contains_key(uid) {
+                violations.push(format!("pod {uid} resident on {nodes:?} without a record"));
+            }
+        }
+        for (uid, record) in &self.records {
+            let resident = residency.get(uid).map(Vec::as_slice).unwrap_or_default();
+            match &record.outcome {
+                PodOutcome::Running { node } => {
+                    if resident != [node] {
+                        violations.push(format!(
+                            "pod {uid} recorded running on {node} but resident on {resident:?}"
+                        ));
+                    }
+                    if queued.contains(uid) {
+                        violations.push(format!("pod {uid} running but still queued"));
+                    }
+                }
+                PodOutcome::Pending => {
+                    if !resident.is_empty() {
+                        violations.push(format!(
+                            "pod {uid} recorded pending but resident on {resident:?}"
+                        ));
+                    }
+                    if !queued.contains(uid) {
+                        violations.push(format!("pod {uid} pending but missing from the queue"));
+                    }
+                }
+                PodOutcome::Completed { .. }
+                | PodOutcome::Denied { .. }
+                | PodOutcome::Unschedulable => {
+                    if !resident.is_empty() {
+                        violations.push(format!("pod {uid} terminal but resident on {resident:?}"));
+                    }
+                    if queued.contains(uid) {
+                        violations.push(format!("pod {uid} terminal but still queued"));
+                    }
+                }
+            }
+        }
+        violations
     }
 
     /// Live-migrates a running pod to another node (§VIII): its enclave is
@@ -1095,11 +1244,21 @@ impl Orchestrator {
     /// Brings a crashed node back: a fresh Kubelet registers with empty
     /// state (uncordoned); queued pods may land on it again next pass.
     ///
+    /// The node re-enters under *recovery quarantine*: anything the tsdb
+    /// still holds for it inside the staleness window was sampled from
+    /// the kubelet that crashed — pods that no longer exist — so trusting
+    /// it would schedule against phantom effective occupancy. Until the
+    /// first scrape sampled at or after this instant is delivered, the
+    /// node's view is forced degraded (requests-only accounting) and
+    /// pre-recovery frames still in flight are dropped at ingest.
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownNode`] for unknown nodes.
     pub fn recover_node(&mut self, name: &NodeName, now: SimTime) -> Result<(), ClusterError> {
-        self.uncordon_node(name, now)
+        self.uncordon_node(name, now)?;
+        self.recovered_at.insert(name.clone(), now);
+        Ok(())
     }
 
     /// Drains a node for maintenance: cordons it (no new pods) and
@@ -1140,21 +1299,35 @@ impl Orchestrator {
             .by_name(SGX_BINPACK)
             .expect("builtin registry has sgx-binpack");
         let mut moves = Vec::new();
+        // One frozen snapshot and one working-copy cycle cover the whole
+        // drain: every accepted migration reserves its target in the
+        // cycle, so later pods see the occupancy exactly as a re-capture
+        // would have shown it (measured usage cannot change mid-drain —
+        // nothing writes the database here). Re-capturing per pod forced
+        // the snapshot's COW path under the still-open cycle and made
+        // drains O(pods × capture) for identical decisions.
+        let mut cycle = SchedulingCycle::new(self.capture_snapshot(now));
         for (uid, spec) in pods {
             // The snapshot includes the cordoned source node, but the
             // pipeline's cordon filter rejects it, so placement naturally
             // avoids it.
-            let cycle = SchedulingCycle::new(self.capture_snapshot(now));
             let Some(target) = cycle.place(&pipeline, &spec) else {
                 continue; // no room anywhere right now
             };
-            if let Ok(delay) = self.migrate_pod(uid, &target, now) {
-                moves.push(Migration {
-                    uid,
-                    from: name.clone(),
-                    to: target,
-                    delay,
-                });
+            match self.migrate_pod(uid, &target, now) {
+                Ok(delay) => {
+                    cycle.reserve(&target, &spec);
+                    moves.push(Migration {
+                        uid,
+                        from: name.clone(),
+                        to: target,
+                        delay,
+                    });
+                }
+                // The target kubelet refused (snapshot/state race): the
+                // pod stayed put, so a reservation would fabricate
+                // occupancy. Exclude the node for the rest of the drain.
+                Err(_) => cycle.mark_infeasible(&target),
             }
         }
         Ok(moves)
@@ -1176,16 +1349,23 @@ impl Orchestrator {
         Ok(())
     }
 
-    /// Current EPC-load imbalance across the SGX nodes: the spread
-    /// between the most- and least-loaded node's requested-EPC fraction
-    /// of capacity, in `[0, 1]`. Zero with fewer than two SGX nodes.
-    /// This is the quantity [`rebalance_epc`](Self::rebalance_epc) drives
-    /// below its threshold.
+    /// Current EPC-load imbalance across the *uncordoned* SGX nodes: the
+    /// spread between the most- and least-loaded node's requested-EPC
+    /// fraction of capacity, in `[0, 1]`. Zero with fewer than two such
+    /// nodes. This is the quantity [`rebalance_epc`](Self::rebalance_epc)
+    /// drives below its threshold — and it must be measured over the
+    /// same node set the rebalancer can move load between: a cordoned
+    /// node can neither receive pods nor have them taken by the
+    /// rebalancer, so counting it would arm rebalance passes that can
+    /// never reduce what they measure (during a drain window, forever).
     pub fn epc_imbalance(&self) -> f64 {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut nodes = 0usize;
         for node in self.cluster.sgx_nodes() {
+            if node.is_cordoned() {
+                continue;
+            }
             let cap = node.allocatable_epc().count().max(1);
             let load = node.epc_requested().count() as f64 / cap as f64;
             min = min.min(load);

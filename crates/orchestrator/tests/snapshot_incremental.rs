@@ -30,12 +30,23 @@ fn node_of(orch: &Orchestrator, uid: PodUid) -> NodeName {
 }
 
 /// The from-scratch oracle every incremental capture is checked against:
-/// a full re-derivation of all workers plus the same staleness rule.
+/// a full re-derivation of all workers plus the same staleness rule
+/// (scrape age, and the recovery quarantine that forces a rejoined node
+/// degraded until its first post-recovery scrape is delivered).
 fn oracle(orch: &Orchestrator, now: SimTime) -> ClusterSnapshot {
-    ClusterSnapshot::capture(orch.cluster(), orch.db(), now, orch.config().metrics_window)
-        .with_staleness(orch.config().staleness_threshold, |name| {
-            orch.metrics_age(name, now)
-        })
+    let mut snap =
+        ClusterSnapshot::capture(orch.cluster(), orch.db(), now, orch.config().metrics_window)
+            .with_staleness(orch.config().staleness_threshold, |name| {
+                orch.metrics_age(name, now)
+            });
+    snap.update(now, |nodes| {
+        for (name, view) in nodes.iter_mut() {
+            if orch.recovery_pending(name) {
+                view.degraded = true;
+            }
+        }
+    });
+    snap
 }
 
 fn assert_matches_oracle(orch: &Orchestrator, now: SimTime) {

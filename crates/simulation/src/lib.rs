@@ -27,6 +27,7 @@
 
 pub mod analysis;
 pub mod chaos;
+pub mod conformance;
 pub mod sweep;
 
 mod config;
@@ -34,5 +35,6 @@ mod replay;
 
 pub use chaos::{FaultInjector, FaultPlan, FaultStats, FrameFate, ProbeSilence};
 pub use config::{MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig};
+pub use conformance::{TraceHarness, TraceOp};
 pub use replay::{replay, JobRun, ReplayResult};
 pub use sweep::{SweepJob, SweepProgress};
