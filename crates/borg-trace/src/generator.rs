@@ -259,6 +259,49 @@ impl GeneratorConfig {
         }
     }
 
+    /// Full-trace-scale preset for autoscaled replays: the same process
+    /// as [`paper_scale`](Self::paper_scale) — Fig. 5's 135k mean
+    /// concurrency, bursty profile — with the horizon cut to ten
+    /// minutes so the trace is materialisable (≈800 k jobs, millions of
+    /// pod events). At this concurrency the implied cluster is in the
+    /// Borg cell's 12,500-machine class; replaying it against the
+    /// five-node paper cluster only makes sense with the cluster
+    /// autoscaler enabled. Tune with
+    /// [`with_mean_concurrency`](Self::with_mean_concurrency) and
+    /// [`with_horizon`](Self::with_horizon).
+    pub fn full_scale(seed: u64) -> Self {
+        GeneratorConfig {
+            horizon: SimDuration::from_mins(10),
+            ..GeneratorConfig::paper_scale(seed)
+        }
+    }
+
+    /// Overrides the target mean concurrency (and with it, via Little's
+    /// law, the arrival rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean_concurrency` is positive and finite.
+    pub fn with_mean_concurrency(mut self, mean_concurrency: f64) -> Self {
+        assert!(
+            mean_concurrency.is_finite() && mean_concurrency > 0.0,
+            "mean concurrency must be positive and finite"
+        );
+        self.mean_concurrency = mean_concurrency;
+        self
+    }
+
+    /// Overrides the trace horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        assert!(!horizon.is_zero(), "horizon must be non-zero");
+        self.horizon = horizon;
+        self
+    }
+
     /// Small preset for unit tests and examples: one hour, ≈30 concurrent
     /// jobs, flat profile.
     pub fn small(seed: u64) -> Self {
@@ -559,5 +602,33 @@ mod tests {
     #[should_panic(expected = "keep_every")]
     fn zero_keep_every_panics() {
         let _ = GeneratorConfig::small(0).generate_sampled(0);
+    }
+
+    #[test]
+    fn full_scale_is_paper_scale_with_a_short_horizon() {
+        let full = GeneratorConfig::full_scale(11);
+        let paper = GeneratorConfig::paper_scale(11);
+        assert_eq!(full.horizon, SimDuration::from_mins(10));
+        assert_eq!(full.mean_concurrency, paper.mean_concurrency);
+        assert_eq!(full.profile, paper.profile);
+        // The builders override exactly their field.
+        let tuned = full
+            .with_mean_concurrency(20_000.0)
+            .with_horizon(SimDuration::from_mins(3));
+        assert_eq!(tuned.mean_concurrency, 20_000.0);
+        assert_eq!(tuned.horizon, SimDuration::from_mins(3));
+        assert_eq!(tuned.duration, full.duration);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean concurrency")]
+    fn non_positive_concurrency_panics() {
+        let _ = GeneratorConfig::full_scale(0).with_mean_concurrency(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let _ = GeneratorConfig::full_scale(0).with_horizon(SimDuration::ZERO);
     }
 }

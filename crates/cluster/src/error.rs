@@ -28,6 +28,8 @@ pub enum ClusterError {
     SgxUnavailable(NodeName),
     /// The node is not schedulable (e.g. the master).
     NodeUnschedulable(NodeName),
+    /// A node with this name is already registered.
+    NodeAlreadyRegistered(NodeName),
     /// An error surfaced from the SGX driver (e.g. the enclave admission
     /// check denying an over-limit pod).
     Sgx(SgxError),
@@ -46,6 +48,9 @@ impl fmt::Display for ClusterError {
                 write!(f, "node {n} has no SGX support (isgx module absent)")
             }
             ClusterError::NodeUnschedulable(n) => write!(f, "node {n} is not schedulable"),
+            ClusterError::NodeAlreadyRegistered(n) => {
+                write!(f, "node {n} is already registered")
+            }
             ClusterError::Sgx(e) => write!(f, "sgx driver: {e}"),
         }
     }

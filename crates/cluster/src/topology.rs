@@ -150,6 +150,35 @@ impl Cluster {
         self.schedulable_nodes().filter(|n| n.has_sgx())
     }
 
+    /// Registers a node at runtime — the autoscaler's scale-up path.
+    /// Returns the name on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::ClusterError::NodeAlreadyRegistered`] when
+    /// the name is taken; the existing node is left untouched.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        spec: MachineSpec,
+        role: NodeRole,
+    ) -> Result<NodeName, crate::error::ClusterError> {
+        let name = NodeName::new(name.into());
+        if self.nodes.contains_key(&name) {
+            return Err(crate::error::ClusterError::NodeAlreadyRegistered(name));
+        }
+        self.nodes
+            .insert(name.clone(), Node::new(name.clone(), spec, role));
+        Ok(name)
+    }
+
+    /// Deregisters a node, returning it (with whatever pods it still
+    /// hosts) — the autoscaler's scale-down path. `None` when no node of
+    /// that name exists.
+    pub fn remove_node(&mut self, name: &NodeName) -> Option<Node> {
+        self.nodes.remove(name)
+    }
+
     /// Looks a node up by name.
     pub fn node(&self, name: &NodeName) -> Option<&Node> {
         self.nodes.get(name)

@@ -124,7 +124,7 @@ fn main() {
         "| rebalance | mean imbalance | migrations/run | downtime/run [s] | mean turnaround [s] |"
     );
     println!("|---|---|---|---|---|");
-    let mut off_imbalance = f64::NAN;
+    let mut off_imbalance: Option<f64> = None;
     for &mode in &modes {
         let of_mode: Vec<&ReplayResult> = experiments
             .iter()
@@ -158,12 +158,13 @@ fn main() {
             mode.label()
         );
         if matches!(mode, Mode::Off) {
-            off_imbalance = imbalance;
+            off_imbalance = Some(imbalance);
         } else {
+            let off = off_imbalance.expect("Mode::Off is swept first");
             assert!(
-                imbalance < off_imbalance,
+                imbalance < off,
                 "rebalancing at {} did not lower the mean EPC-load imbalance \
-                 ({imbalance:.4} vs off {off_imbalance:.4})",
+                 ({imbalance:.4} vs off {off:.4})",
                 mode.label()
             );
         }

@@ -13,9 +13,11 @@
 use std::process::ExitCode;
 
 use borg_trace::{stats, GeneratorConfig, JobKind, TracePipeline, Workload, WorkloadParams};
+use orchestrator::autoscale::AutoscalerPolicy;
 use orchestrator::billing::{Invoice, PriceSheet};
 use sgx_orchestrator::prelude::*;
 use simulation::analysis::{mean_waiting_secs, total_turnaround, waiting_cdf};
+use simulation::AutoscaleConfig;
 
 const HELP: &str = "\
 sgxctl — SGX-aware container orchestration for heterogeneous clusters
@@ -45,6 +47,18 @@ COMMON OPTIONS:
     --no-limits        Disable driver-side EPC limit enforcement (Fig. 11)
     --malicious <F>    Add one squatter per SGX node mapping F of its EPC
     --bill             Print the invoice total (requests-based billing)
+    --autoscale        Enable the cluster autoscaler (paper defaults); the
+                       flags below imply it and override individual knobs
+    --autoscale-period <SECS>
+                       Controller tick period, > 0 (default 30)
+    --autoscale-up-wait-secs <SECS>
+                       Queue wait that triggers a scale-up, > 0 (default 30)
+    --autoscale-cooldown-secs <SECS>
+                       Low-occupancy dwell before a scale-down (default 300)
+    --autoscale-low-water <F>
+                       Scale-down occupancy threshold, in (0, 1] (default 0.3)
+    --autoscale-max-nodes <N>
+                       Per-tier cap on autoscaled nodes, > 0 (default 10000)
 ";
 
 fn main() -> ExitCode {
@@ -229,6 +243,11 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
         Ok(None) => {}
         Err(e) => return usage_error(&e),
     }
+    match autoscale_flags(args) {
+        Ok(Some(autoscale)) => config = config.with_autoscale(autoscale),
+        Ok(None) => {}
+        Err(e) => return usage_error(&e),
+    }
 
     eprintln!(
         "replaying {} jobs ({} SGX) under {scheduler}…",
@@ -261,6 +280,18 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
         "peak backlog:  {:.0} MiB of pending EPC requests",
         result.pending_epc_series().peak().unwrap_or(0.0)
     );
+    if let Some(metrics) = result.elasticity() {
+        println!(
+            "autoscaling:   +{} / -{} nodes (peak {}), mean scale-up latency {}, {:.0} wasted node·s",
+            metrics.nodes_added,
+            metrics.nodes_removed,
+            metrics.peak_nodes,
+            metrics
+                .mean_scale_up_latency_secs()
+                .map_or_else(|| "n/a".to_string(), |s| format!("{s:.1} s")),
+            metrics.wasted_capacity_node_secs,
+        );
+    }
     if args.has_flag("--bill") {
         let records: std::collections::BTreeMap<_, _> = result
             .runs()
@@ -275,6 +306,50 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Parses the `--autoscale*` flags into an [`AutoscaleConfig`].
+///
+/// Returns `Ok(None)` when none of them is present; any knob flag
+/// implies `--autoscale`. Every value is range-checked here so a bad
+/// flag is a usage error, not a panic inside the policy validator.
+fn autoscale_flags(args: &mut Args) -> Result<Option<AutoscaleConfig>, String> {
+    let mut enabled = args.has_flag("--autoscale");
+    let mut period = SimDuration::from_secs(30);
+    let mut policy = AutoscalerPolicy::paper_defaults();
+    if let Some(secs) = args.flag_u64("--autoscale-period")? {
+        if secs == 0 {
+            return Err("--autoscale-period must be positive".to_string());
+        }
+        period = SimDuration::from_secs(secs);
+        enabled = true;
+    }
+    if let Some(secs) = args.flag_u64("--autoscale-up-wait-secs")? {
+        if secs == 0 {
+            return Err("--autoscale-up-wait-secs must be positive".to_string());
+        }
+        policy = policy.with_scale_up_wait(SimDuration::from_secs(secs));
+        enabled = true;
+    }
+    if let Some(secs) = args.flag_u64("--autoscale-cooldown-secs")? {
+        policy = policy.with_scale_down_after(SimDuration::from_secs(secs));
+        enabled = true;
+    }
+    if let Some(low_water) = args.flag_f64("--autoscale-low-water")? {
+        if !(low_water > 0.0 && low_water <= 1.0) {
+            return Err("--autoscale-low-water must lie in (0, 1]".to_string());
+        }
+        policy = policy.with_low_water(low_water);
+        enabled = true;
+    }
+    if let Some(max_nodes) = args.flag_u64("--autoscale-max-nodes")? {
+        if max_nodes == 0 {
+            return Err("--autoscale-max-nodes must be positive".to_string());
+        }
+        policy = policy.with_max_nodes(max_nodes as usize);
+        enabled = true;
+    }
+    Ok(enabled.then(|| AutoscaleConfig::every(period, policy)))
 }
 
 // --------------------------------------------------------- tiny arg parser

@@ -4,8 +4,8 @@ use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams
 use cluster::topology::ClusterSpec;
 use sgx_sim::units::ByteSize;
 use simulation::{
-    replay, sweep, FaultPlan, MaliciousConfig, RebalanceConfig, ReplayConfig, ReplayResult,
-    SweepProgress,
+    replay, sweep, AutoscaleConfig, FaultPlan, MaliciousConfig, RebalanceConfig, ReplayConfig,
+    ReplayResult, SweepProgress,
 };
 
 /// Which trace the experiment replays.
@@ -44,6 +44,7 @@ pub struct Experiment {
     enforce_limits: bool,
     malicious: Option<MaliciousConfig>,
     rebalance: Option<RebalanceConfig>,
+    autoscale: Option<AutoscaleConfig>,
     faults: FaultPlan,
 }
 
@@ -60,6 +61,7 @@ impl Experiment {
             enforce_limits: true,
             malicious: None,
             rebalance: None,
+            autoscale: None,
             faults: FaultPlan::none(),
         }
     }
@@ -126,6 +128,14 @@ impl Experiment {
         self
     }
 
+    /// Enables cluster + pod-group autoscaling: the replay grows and
+    /// shrinks the node pool from queue pressure and reconciles any
+    /// configured service groups (§IX).
+    pub fn autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
     /// Injects metrics-pipeline faults (scrape drops, probe silences,
     /// delayed frames, shard write failures) into the replay.
     pub fn faults(mut self, faults: FaultPlan) -> Self {
@@ -168,6 +178,9 @@ impl Experiment {
         }
         if let Some(rebalance) = self.rebalance {
             config = config.with_rebalance(rebalance);
+        }
+        if let Some(autoscale) = &self.autoscale {
+            config = config.with_autoscale(autoscale.clone());
         }
         if !self.faults.is_noop() {
             config = config.with_faults(self.faults.clone());
@@ -280,6 +293,26 @@ mod tests {
         assert!(result.migration_downtime() > des::SimDuration::ZERO);
         // Off by default.
         assert!(Experiment::quick(8).replay_config().rebalance.is_none());
+    }
+
+    #[test]
+    fn autoscale_builder_reaches_the_replay() {
+        use orchestrator::autoscale::AutoscalerPolicy;
+
+        let policy = AutoscalerPolicy::paper_defaults()
+            .with_scale_up_wait(des::SimDuration::from_secs(10))
+            .with_max_nodes(8);
+        let exp = Experiment::quick(9).sgx_ratio(1.0).autoscale(
+            AutoscaleConfig::every(des::SimDuration::from_secs(15), policy).with_audit(),
+        );
+        assert!(exp.replay_config().autoscale.is_some());
+        let result = exp.run();
+        assert!(!result.timed_out());
+        let metrics = result.elasticity().expect("autoscaling enabled");
+        assert!(metrics.peak_nodes >= 4);
+        // Off by default.
+        assert!(Experiment::quick(9).replay_config().autoscale.is_none());
+        assert!(Experiment::quick(9).run().elasticity().is_none());
     }
 
     #[test]

@@ -72,6 +72,21 @@ pub enum EventKind {
         /// Number of pods lost and re-queued.
         pods: usize,
     },
+    /// A node registered at runtime (autoscaler scale-up or a kubelet
+    /// joining).
+    NodeAdded {
+        /// The node.
+        node: NodeName,
+    },
+    /// A node was drained and deregistered (autoscaler scale-down);
+    /// `pods` pods had no migration target and were re-queued.
+    NodeRemoved {
+        /// The node.
+        node: NodeName,
+        /// Number of pods evicted and re-queued (migrated pods are
+        /// reported by their own [`EventKind::Migrated`] events).
+        pods: usize,
+    },
 }
 
 /// One timestamped entry of the event stream.
@@ -118,6 +133,10 @@ impl std::fmt::Display for ClusterEvent {
             EventKind::NodeUncordoned { node } => write!(f, "node {node} uncordoned"),
             EventKind::NodeFailed { node, pods } => {
                 write!(f, "node {node} failed; {pods} pods re-queued")
+            }
+            EventKind::NodeAdded { node } => write!(f, "node {node} registered"),
+            EventKind::NodeRemoved { node, pods } => {
+                write!(f, "node {node} deregistered; {pods} pods re-queued")
             }
         }
     }

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod billing;
 pub mod events;
 pub mod framework;
@@ -55,11 +56,17 @@ pub mod snapshot;
 
 mod server;
 
+pub use autoscale::{
+    AutoscaleOutcome, AutoscalerPolicy, ClusterAutoscaler, ElasticityMetrics, PodGroupAutoscaler,
+    PodGroupSpec, TierPolicy,
+};
 pub use framework::{
     FilterPlugin, PipelineBuilder, Placement, PlacementOptions, PolicyPipeline, SchedulingCycle,
     ScoreContext, ScorePlugin, ScoreStage,
 };
 pub use queue::{PendingPod, PendingQueue};
 pub use registry::{PolicyRegistry, DEFAULT_SCHEDULER, SGX_BINPACK, SGX_SPREAD};
-pub use server::{BindOutcome, Migration, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord};
+pub use server::{
+    BindOutcome, Migration, NodeRemoval, Orchestrator, OrchestratorConfig, PodOutcome, PodRecord,
+};
 pub use snapshot::ClusterSnapshot;

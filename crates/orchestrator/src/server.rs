@@ -8,7 +8,8 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 use cluster::api::{NodeName, PodSpec, PodUid};
-use cluster::node::{Node, PodStartReport};
+use cluster::machine::MachineSpec;
+use cluster::node::{Node, NodeRole, PodStartReport};
 use cluster::probe::{Probe, MEASUREMENT_EPC, MEASUREMENT_MEMORY};
 use cluster::topology::{Cluster, ClusterSpec};
 use cluster::ClusterError;
@@ -267,6 +268,19 @@ pub struct Migration {
     pub delay: SimDuration,
 }
 
+/// What [`Orchestrator::remove_node`] did to empty the node before
+/// deregistering it: live migrations for every pod the drain could place
+/// elsewhere, and requeued uids for the stragglers evicted back to the
+/// pending queue (at their original submit times). Either way, no pod is
+/// lost.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeRemoval {
+    /// Pods live-migrated off the node during the pre-removal drain.
+    pub migrations: Vec<Migration>,
+    /// Pods with no feasible migration target, evicted and requeued.
+    pub requeued: Vec<PodUid>,
+}
+
 /// The orchestrator: cluster, time-series database, pending queue,
 /// schedulers and pod records. See the crate docs for an example.
 #[derive(Debug)]
@@ -439,8 +453,18 @@ impl Orchestrator {
         let uid = PodUid::new(self.next_uid);
         self.next_uid += 1;
 
-        let view = self.capture_view(now);
-        let unschedulable = view.permanently_unschedulable(&spec);
+        // Same predicate as `ClusterView::permanently_unschedulable`, but
+        // walked directly over the cluster: admission only needs static
+        // capacities, so capturing (and staleness-stamping) a full
+        // metrics view per submission would cost O(nodes) for nothing —
+        // ruinous at autoscaled cluster sizes. The walk short-circuits on
+        // the first node that could ever hold the pod.
+        let req = spec.resources.requests;
+        let unschedulable = !self.cluster.workers().any(|n| {
+            req.memory <= n.allocatable_memory()
+                && req.epc_pages <= n.allocatable_epc()
+                && (!req.needs_sgx() || !n.allocatable_epc().is_zero())
+        });
         self.records.insert(
             uid,
             PodRecord {
@@ -913,13 +937,21 @@ impl Orchestrator {
         let mut snapshot = prev.snapshot;
         snapshot.update(now, |nodes| {
             for name in &refresh {
+                // The refresh set is also how runtime node lifecycle
+                // reaches the cached snapshot: a node deregistered since
+                // the last capture has a dirty mark but no cluster entry
+                // (drop its stale view); a freshly registered one has a
+                // dirty mark but no cached view (derive one). Treating
+                // either as "skip" would freeze the topology of the
+                // first capture into every later snapshot.
                 let Some(node) = self.cluster.node(name) else {
+                    nodes.remove(name);
                     continue;
                 };
-                let Some(view) = nodes.get_mut(name) else {
-                    continue;
-                };
-                *view = NodeView {
+                if !nodes.contains_key(name) && node.role() != NodeRole::Worker {
+                    continue; // snapshots only ever hold workers
+                }
+                let view = NodeView {
                     memory_capacity: node.allocatable_memory(),
                     epc_capacity: node.allocatable_epc(),
                     memory_requested: node.memory_requested(),
@@ -942,6 +974,7 @@ impl Orchestrator {
                     degraded: false,
                     cordoned: node.is_cordoned(),
                 };
+                nodes.insert(name.clone(), view);
             }
             self.stamp_staleness(nodes, now);
         });
@@ -1331,6 +1364,130 @@ impl Orchestrator {
             }
         }
         Ok(moves)
+    }
+
+    /// Registers a new worker node at runtime — the autoscaler's
+    /// scale-up path (a kubelet joining the cluster).
+    ///
+    /// The name starts from a clean slate even if a previous node carried
+    /// it: any leftover scrape stamp, recovery epoch, sample stamp or
+    /// stored probe series from the old incarnation is torn down first,
+    /// so the reused name schedules as a fresh, never-degraded node
+    /// instead of inheriting the predecessor's staleness or quarantine.
+    /// (Deregistration via [`remove_node`](Self::remove_node) already
+    /// tears these down; this guards names retired through direct
+    /// [`cluster_mut`](Self::cluster_mut) edits too.) The cached
+    /// incremental snapshot gains exactly this node's entry at the next
+    /// capture — no full invalidation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NodeAlreadyRegistered`] when a node of
+    /// this name is currently registered.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        spec: MachineSpec,
+        now: SimTime,
+    ) -> Result<NodeName, ClusterError> {
+        let name = self.cluster.add_node(name, spec, NodeRole::Worker)?;
+        self.forget_node(&name);
+        self.mark_dirty(&name);
+        self.events
+            .record(now, EventKind::NodeAdded { node: name.clone() });
+        Ok(name)
+    }
+
+    /// Deregisters a node — the autoscaler's scale-down path: drain,
+    /// then evict, then tear down.
+    ///
+    /// The node is first drained ([`drain_node`](Self::drain_node)):
+    /// cordoned and every pod the binpack pipeline can place elsewhere
+    /// live-migrated. Pods with no feasible target anywhere are then
+    /// evicted back to the pending queue at their original submit times
+    /// (the controller-recreates semantics node failure uses), so no pod
+    /// is ever lost to a removal. Finally every per-node ledger is torn
+    /// down — scrape stamp, recovery epoch, dirty/sample entries, the
+    /// cached snapshot entry (dropped by the next incremental capture,
+    /// no full invalidation) and the node's stored tsdb probe series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for unknown nodes. The
+    /// master is refused with [`ClusterError::NodeUnschedulable`].
+    pub fn remove_node(
+        &mut self,
+        name: &NodeName,
+        now: SimTime,
+    ) -> Result<NodeRemoval, ClusterError> {
+        {
+            let node = self
+                .cluster
+                .node(name)
+                .ok_or_else(|| ClusterError::UnknownNode(name.clone()))?;
+            if node.role() != NodeRole::Worker {
+                return Err(ClusterError::NodeUnschedulable(name.clone()));
+            }
+        }
+        let migrations = self.drain_node(name, now)?;
+        let requeued: Vec<PodUid> = self
+            .cluster
+            .node(name)
+            .expect("checked above")
+            .pods()
+            .keys()
+            .copied()
+            .collect();
+        for &uid in &requeued {
+            let pod = self
+                .cluster
+                .node_mut(name)
+                .expect("checked above")
+                .terminate_pod(uid)
+                .expect("listed above");
+            let record = self
+                .records
+                .get_mut(&uid)
+                .expect("running pods have records");
+            record.outcome = PodOutcome::Pending;
+            record.started_at = None;
+            record.finished_at = None;
+            self.queue.enqueue(uid, pod.spec, record.submitted_at);
+        }
+        self.cluster.remove_node(name);
+        self.forget_node(name);
+        // The dirty mark outlives the node: the incremental refresh sees
+        // a dirty name with no cluster entry and drops the cached view.
+        self.mark_dirty(name);
+        self.events.record(
+            now,
+            EventKind::NodeRemoved {
+                node: name.clone(),
+                pods: requeued.len(),
+            },
+        );
+        Ok(NodeRemoval {
+            migrations,
+            requeued,
+        })
+    }
+
+    /// Tears down every per-node ledger entry plus the node's stored
+    /// probe series — shared by deregistration and by registration's
+    /// name-reuse guard.
+    fn forget_node(&mut self, name: &NodeName) {
+        self.last_scrape.remove(name);
+        self.recovered_at.remove(name);
+        self.last_sample.remove(name);
+        if self
+            .db
+            .drop_series_with_first_tag("nodename", name.as_str())
+            > 0
+        {
+            // Cached window aggregates may still fold the dropped series;
+            // deregistration is rare, so a full cache rebuild is fine.
+            self.window_cache.borrow_mut().clear();
+        }
     }
 
     /// Un-cordons a previously drained node.
@@ -2111,5 +2268,183 @@ mod tests {
         for node in orch.cluster().sgx_nodes() {
             assert!(node.driver().unwrap().enforces_limits());
         }
+    }
+
+    #[test]
+    fn add_node_expands_capacity_at_runtime() {
+        let mut orch = orchestrator();
+        // Two 60 MiB pods saturate the two stock SGX nodes; the third
+        // waits until a runtime-added node opens capacity.
+        for i in 0..3 {
+            orch.submit(sgx_spec(&format!("p{i}"), 60), SimTime::ZERO);
+        }
+        orch.scheduler_pass(SimTime::from_secs(5));
+        assert_eq!(orch.queue().len(), 1);
+        let added = orch
+            .add_node("sgx-new", MachineSpec::sgx_node(), SimTime::from_secs(10))
+            .unwrap();
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(15));
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].node, added);
+        assert!(orch.queue().is_empty());
+    }
+
+    #[test]
+    fn add_node_rejects_duplicate_names() {
+        let mut orch = orchestrator();
+        let err = orch
+            .add_node("sgx-1", MachineSpec::sgx_node(), SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::NodeAlreadyRegistered(_)));
+    }
+
+    #[test]
+    fn remove_node_migrates_pods_then_deregisters() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("a", 40), SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        let home = outcomes[0].node.clone();
+        let removal = orch.remove_node(&home, SimTime::from_secs(10)).unwrap();
+        // The pod live-migrated to the other SGX node; nothing requeued.
+        assert_eq!(removal.migrations.len(), 1);
+        assert_eq!(removal.migrations[0].uid, uid);
+        assert_eq!(removal.migrations[0].from, home);
+        assert!(removal.requeued.is_empty());
+        assert!(
+            orch.cluster().node(&home).is_none(),
+            "node still registered"
+        );
+        match &orch.record(uid).unwrap().outcome {
+            PodOutcome::Running { node } => assert_ne!(*node, home),
+            other => panic!("pod lost by removal: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_node_requeues_pods_with_no_migration_target() {
+        let mut orch = orchestrator();
+        // One 60 MiB pod per SGX node: neither node can absorb the
+        // other's pod, so removal must evict to the queue, not lose it.
+        let a = orch.submit(sgx_spec("a", 60), SimTime::ZERO);
+        let b = orch.submit(sgx_spec("b", 60), SimTime::ZERO);
+        orch.scheduler_pass(SimTime::from_secs(5));
+        let home = match &orch.record(a).unwrap().outcome {
+            PodOutcome::Running { node } => node.clone(),
+            other => panic!("a not running: {other:?}"),
+        };
+        let removal = orch.remove_node(&home, SimTime::from_secs(10)).unwrap();
+        assert!(removal.migrations.is_empty());
+        assert_eq!(removal.requeued, vec![a]);
+        assert_eq!(orch.record(a).unwrap().outcome, PodOutcome::Pending);
+        // The requeued pod keeps its original submission time (FCFS).
+        assert_eq!(
+            orch.queue().iter().next().unwrap().submitted_at,
+            SimTime::ZERO
+        );
+        // Once `b` finishes, `a` lands on the surviving node.
+        orch.complete_pod(b, SimTime::from_secs(20)).unwrap();
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(25));
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].report.started());
+    }
+
+    #[test]
+    fn remove_node_refuses_the_master_and_unknown_nodes() {
+        let mut orch = orchestrator();
+        let master = NodeName::new("master");
+        assert!(matches!(
+            orch.remove_node(&master, SimTime::ZERO),
+            Err(ClusterError::NodeUnschedulable(_))
+        ));
+        let ghost = NodeName::new("no-such-node");
+        assert!(matches!(
+            orch.remove_node(&ghost, SimTime::ZERO),
+            Err(ClusterError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn remove_node_tears_down_metrics_series() {
+        let mut orch = orchestrator();
+        let uid = orch.submit(sgx_spec("a", 40), SimTime::ZERO);
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(5));
+        let home = outcomes[0].node.clone();
+        orch.probe_pass(SimTime::from_secs(10));
+        assert!(orch.db().series_count() > 0);
+        // Migrate the pod away first (complete it) so the removal's
+        // series teardown is the only change.
+        orch.complete_pod(uid, SimTime::from_secs(15)).unwrap();
+        let before = orch.db().series_count();
+        orch.remove_node(&home, SimTime::from_secs(20)).unwrap();
+        assert!(
+            orch.db().series_count() < before,
+            "the removed node's series were not dropped"
+        );
+        // Snapshots no longer show the node.
+        let snap = orch.capture_snapshot(SimTime::from_secs(21));
+        assert!(snap.node(&home).is_none());
+    }
+
+    #[test]
+    fn reused_node_name_schedules_as_a_fresh_node() {
+        let mut orch = orchestrator();
+        let name = NodeName::new("sgx-1");
+        // Scrape, then crash + recover: the recovery quarantine degrades
+        // the node until a post-recovery scrape lands.
+        orch.probe_pass(SimTime::from_secs(10));
+        orch.fail_node(&name, SimTime::from_secs(20)).unwrap();
+        orch.recover_node(&name, SimTime::from_secs(30)).unwrap();
+        let view = orch.capture_view(SimTime::from_secs(31));
+        assert!(view.node(&name).unwrap().degraded);
+
+        // Deregister, then register a brand-new machine under the same
+        // name. Regression: the reused name used to inherit the old
+        // scrape stamp, the recovery epoch and the cached snapshot
+        // entry, scheduling the new machine as a degraded ghost.
+        orch.remove_node(&name, SimTime::from_secs(40)).unwrap();
+        orch.add_node("sgx-1", MachineSpec::sgx_node(), SimTime::from_secs(50))
+            .unwrap();
+        let view = orch.capture_view(SimTime::from_secs(51));
+        let fresh = view.node(&name).unwrap();
+        assert!(!fresh.degraded, "reused name inherited recovery quarantine");
+        assert_eq!(
+            fresh.metrics_age, None,
+            "reused name inherited scrape stamp"
+        );
+        assert!(fresh.epc_measured.is_zero());
+        let snap = orch.capture_snapshot(SimTime::from_secs(51));
+        let cached = snap.node(&name).unwrap();
+        assert!(!cached.degraded);
+        assert_eq!(cached.metrics_age, None);
+        // And it takes pods like any healthy node.
+        orch.submit(sgx_spec("fresh", 60), SimTime::from_secs(52));
+        orch.submit(sgx_spec("fresh-2", 60), SimTime::from_secs(52));
+        let outcomes = orch.scheduler_pass(SimTime::from_secs(55));
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes
+            .iter()
+            .any(|o| o.node == name && o.report.started()));
+    }
+
+    #[test]
+    fn incremental_snapshot_tracks_node_add_and_remove() {
+        let mut orch = orchestrator();
+        // Prime the cached snapshot with the stock topology.
+        let first = orch.capture_snapshot(SimTime::from_secs(1));
+        assert_eq!(first.nodes().len(), 4);
+        // A node added after the first capture must appear in the next
+        // *incremental* refresh, and a removed one must vanish — the
+        // refresh used to skip names with no cached entry (or no cluster
+        // entry), freezing the first capture's topology forever.
+        orch.add_node("extra", MachineSpec::dell_r330(), SimTime::from_secs(2))
+            .unwrap();
+        let grown = orch.capture_snapshot(SimTime::from_secs(3));
+        assert!(grown.node(&NodeName::new("extra")).is_some());
+        assert_eq!(grown.nodes().len(), 5);
+        orch.remove_node(&NodeName::new("extra"), SimTime::from_secs(4))
+            .unwrap();
+        let shrunk = orch.capture_snapshot(SimTime::from_secs(5));
+        assert!(shrunk.node(&NodeName::new("extra")).is_none());
+        assert_eq!(shrunk.nodes().len(), 4);
     }
 }

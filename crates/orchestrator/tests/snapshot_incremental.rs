@@ -231,6 +231,12 @@ enum Ev {
     ToggleCordon(u8),
     /// Crash the nth worker, or recover it if already down.
     ToggleFailure(u8),
+    /// Register a new node at runtime (SGX machine when the flag is odd).
+    AddNode(u8),
+    /// Drain-and-deregister the nth worker (skipped when it is the last
+    /// one — an empty cluster makes every later submit unschedulable and
+    /// the interleaving degenerate).
+    RemoveNode(u8),
     /// Let time pass so samples age out and staleness grows.
     Idle,
 }
@@ -244,6 +250,8 @@ fn ev_strategy() -> impl Strategy<Value = Ev> {
         (0u8..16).prop_map(Ev::Finish),
         (0u8..4).prop_map(Ev::ToggleCordon),
         (0u8..4).prop_map(Ev::ToggleFailure),
+        (0u8..8).prop_map(Ev::AddNode),
+        (0u8..8).prop_map(Ev::RemoveNode),
         Just(Ev::Idle),
     ]
 }
@@ -263,18 +271,20 @@ proptest! {
 
     /// The tentpole property: after every event of an arbitrary
     /// interleaving of probe frames (lossless and lossy), binds,
-    /// finishes, cordons and node failures, the incrementally maintained
-    /// snapshot equals a from-scratch capture, bit for bit.
+    /// finishes, cordons, node failures and runtime node add/remove, the
+    /// incrementally maintained snapshot equals a from-scratch capture,
+    /// bit for bit.
     #[test]
     fn incremental_snapshots_match_full_captures_under_arbitrary_events(
         events in prop::collection::vec(ev_strategy(), 1..48),
     ) {
         let mut orch = orchestrator();
-        let workers: Vec<NodeName> = orch
-            .cluster()
-            .workers()
-            .map(|n| n.name().clone())
-            .collect();
+        // The node set is dynamic now (add/remove events), so re-derive
+        // the worker list wherever an event picks a target.
+        let workers = |orch: &Orchestrator| -> Vec<NodeName> {
+            orch.cluster().workers().map(|n| n.name().clone()).collect()
+        };
+        let mut next_node = 0u32;
         let mut now = SimTime::ZERO;
         for (index, event) in events.into_iter().enumerate() {
             now += SimDuration::from_secs(5);
@@ -302,7 +312,8 @@ proptest! {
                     }
                 }
                 Ev::ToggleCordon(n) => {
-                    let name = workers[n as usize % workers.len()].clone();
+                    let names = workers(&orch);
+                    let name = names[n as usize % names.len()].clone();
                     if orch.cluster().node(&name).expect("worker").is_cordoned() {
                         orch.uncordon_node(&name, now).expect("worker exists");
                     } else {
@@ -310,11 +321,38 @@ proptest! {
                     }
                 }
                 Ev::ToggleFailure(n) => {
-                    let name = workers[n as usize % workers.len()].clone();
+                    let names = workers(&orch);
+                    let name = names[n as usize % names.len()].clone();
                     if orch.cluster().node(&name).expect("worker").is_cordoned() {
                         orch.recover_node(&name, now).expect("worker exists");
                     } else {
                         orch.fail_node(&name, now).expect("worker exists");
+                    }
+                }
+                Ev::AddNode(flag) => {
+                    let spec = if flag % 2 == 1 {
+                        cluster::machine::MachineSpec::sgx_node()
+                    } else {
+                        cluster::machine::MachineSpec::dell_r330()
+                    };
+                    // Every fourth add reuses a previously retired name
+                    // (if any), exercising the name-reuse teardown path.
+                    let name = if flag >= 6 && next_node > 0 {
+                        format!("dyn-{}", (u32::from(flag) * 7) % next_node)
+                    } else {
+                        let name = format!("dyn-{next_node}");
+                        next_node += 1;
+                        name
+                    };
+                    // Reused names may still be registered: that's the
+                    // documented duplicate error, not a test failure.
+                    let _ = orch.add_node(name, spec, now);
+                }
+                Ev::RemoveNode(n) => {
+                    let names = workers(&orch);
+                    if names.len() > 1 {
+                        let name = names[n as usize % names.len()].clone();
+                        orch.remove_node(&name, now).expect("worker exists");
                     }
                 }
                 Ev::Idle => now += SimDuration::from_secs(30),

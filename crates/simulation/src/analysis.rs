@@ -101,22 +101,40 @@ pub fn waiting_by_request(
         .collect()
 }
 
-/// Mean waiting time in seconds across honest jobs of `kind`.
-pub fn mean_waiting_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+/// Mean waiting time in seconds across honest jobs of `kind`, or `None`
+/// when no such job ever started — the caller decides how an empty set
+/// reads, instead of receiving a silent `NaN`.
+pub fn mean_waiting(result: &ReplayResult, kind: Option<JobKind>) -> Option<f64> {
     let stats: RunningStats = honest_of_kind(result, kind)
         .filter_map(|run| run.record.waiting_time())
         .map(|d| d.as_secs_f64())
         .collect();
-    stats.mean()
+    (stats.count() > 0).then(|| stats.mean())
 }
 
-/// Mean turnaround time in seconds across honest jobs of `kind`.
-pub fn mean_turnaround_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+/// Mean waiting time in seconds across honest jobs of `kind`.
+///
+/// Returns `0.0` — never `NaN` — when no such job ever started
+/// ([`RunningStats::mean`] is 0-when-empty by contract); use
+/// [`mean_waiting`] to distinguish "no jobs" from "zero wait".
+pub fn mean_waiting_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+    mean_waiting(result, kind).unwrap_or(0.0)
+}
+
+/// Mean turnaround time in seconds across honest jobs of `kind`, or
+/// `None` when no such job ever finished.
+pub fn mean_turnaround(result: &ReplayResult, kind: Option<JobKind>) -> Option<f64> {
     let stats: RunningStats = honest_of_kind(result, kind)
         .filter_map(|run| run.record.turnaround())
         .map(|d| d.as_secs_f64())
         .collect();
-    stats.mean()
+    (stats.count() > 0).then(|| stats.mean())
+}
+
+/// Mean turnaround time in seconds across honest jobs of `kind` (`0.0`,
+/// never `NaN`, on an empty set — see [`mean_turnaround`]).
+pub fn mean_turnaround_secs(result: &ReplayResult, kind: Option<JobKind>) -> f64 {
+    mean_turnaround(result, kind).unwrap_or(0.0)
 }
 
 /// Mean per-node EPC-load imbalance over the replay: the average of the
@@ -167,6 +185,39 @@ pub fn degraded_decisions(result: &ReplayResult) -> u64 {
 /// configured [`FaultPlan`](crate::chaos::FaultPlan) was a no-op).
 pub fn fault_stats(result: &ReplayResult) -> &crate::chaos::FaultStats {
     result.fault_stats()
+}
+
+/// Mean scale-up latency in seconds — how long the triggering tier's
+/// oldest pending pod had waited when the autoscaler added capacity.
+/// `None` when autoscaling was off or never scaled up (not `NaN`).
+pub fn mean_scale_up_latency_secs(result: &ReplayResult) -> Option<f64> {
+    result
+        .elasticity()
+        .and_then(|e| e.mean_scale_up_latency_secs())
+}
+
+/// Worst-case scale-up latency in seconds; `None` when autoscaling was
+/// off or never scaled up.
+pub fn max_scale_up_latency_secs(result: &ReplayResult) -> Option<f64> {
+    result
+        .elasticity()
+        .filter(|e| e.scale_up_latency_count > 0)
+        .map(|e| e.scale_up_latency_max_secs)
+}
+
+/// Unused managed-node capacity integrated over the replay, in
+/// node-seconds (the over-provisioning bill). `0.0` when autoscaling was
+/// off (no managed nodes, so nothing was wasted).
+pub fn wasted_capacity_node_secs(result: &ReplayResult) -> f64 {
+    result
+        .elasticity()
+        .map_or(0.0, |e| e.wasted_capacity_node_secs)
+}
+
+/// Highest worker count the cluster reached under autoscaling; `None`
+/// when autoscaling was off (the cluster never changed size).
+pub fn peak_node_count(result: &ReplayResult) -> Option<usize> {
+    result.elasticity().map(|e| e.peak_nodes)
 }
 
 /// Fraction of scraped probe frames that never reached the metrics
@@ -282,6 +333,57 @@ mod tests {
         let mean = mean_waiting_secs(&r, None);
         assert!(mean.is_finite());
         assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn means_on_an_empty_replay_are_none_not_nan() {
+        // Replay of an empty workload: zero runs, so every mean is over
+        // an empty set. The checked variants say so; the `_secs`
+        // variants are pinned to 0.0, never NaN.
+        let r = replay(&Workload::default(), &ReplayConfig::paper(1));
+        assert_eq!(r.runs().len(), 0);
+        assert_eq!(mean_waiting(&r, None), None);
+        assert_eq!(mean_turnaround(&r, None), None);
+        assert_eq!(mean_waiting_secs(&r, None), 0.0);
+        assert_eq!(mean_turnaround_secs(&r, None), 0.0);
+        assert!(waiting_by_request(&r, JobKind::Sgx, ByteSize::from_mib(5)).is_empty());
+        // Elasticity helpers without autoscaling: absent, not NaN.
+        assert_eq!(mean_scale_up_latency_secs(&r), None);
+        assert_eq!(max_scale_up_latency_secs(&r), None);
+        assert_eq!(wasted_capacity_node_secs(&r), 0.0);
+        assert_eq!(peak_node_count(&r), None);
+    }
+
+    #[test]
+    fn means_on_a_single_job_equal_that_job() {
+        let trace = GeneratorConfig::small(23).generate();
+        let single = borg_trace::Trace::from_jobs(trace.jobs()[..1].to_vec());
+        let workload = Workload::materialize(&single, &WorkloadParams::paper(1.0, 23));
+        assert_eq!(workload.len(), 1);
+        let r = replay(&workload, &ReplayConfig::paper(23));
+        let run = r.runs().first().unwrap();
+        let wait = run.record.waiting_time().unwrap().as_secs_f64();
+        assert_eq!(mean_waiting(&r, None), Some(wait));
+        assert_eq!(mean_waiting_secs(&r, None), wait);
+        let buckets = waiting_by_request(&r, JobKind::Sgx, ByteSize::from_mib(5));
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].jobs, 1);
+        assert_eq!(buckets[0].mean_waiting_secs, wait);
+        assert_eq!(buckets[0].ci95_secs, 0.0); // single sample: no spread
+    }
+
+    #[test]
+    fn elasticity_means_empty_and_single_observation() {
+        use orchestrator::ElasticityMetrics;
+        let empty = ElasticityMetrics::default();
+        assert_eq!(empty.mean_scale_up_latency_secs(), None);
+        let single = ElasticityMetrics {
+            scale_up_latency_sum_secs: 42.0,
+            scale_up_latency_count: 1,
+            scale_up_latency_max_secs: 42.0,
+            ..ElasticityMetrics::default()
+        };
+        assert_eq!(single.mean_scale_up_latency_secs(), Some(42.0));
     }
 
     #[test]

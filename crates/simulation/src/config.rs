@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use cluster::topology::ClusterSpec;
 use des::SimDuration;
+use orchestrator::autoscale::{AutoscalerPolicy, PodGroupSpec};
 use orchestrator::OrchestratorConfig;
 use sgx_sim::cost::CostModel;
 
@@ -81,6 +82,77 @@ impl RebalanceConfig {
     }
 }
 
+/// Autoscaling for the replay: a periodic `AutoscaleTick` runs the
+/// [`ClusterAutoscaler`](orchestrator::ClusterAutoscaler) (node-pool
+/// elasticity from pending-queue pressure, SGX and non-SGX tiers scaled
+/// independently) and, when `pod_groups` is non-empty, the
+/// [`PodGroupAutoscaler`](orchestrator::PodGroupAutoscaler) (horizontal
+/// replica scaling of long-running service groups).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleConfig {
+    /// How often the controllers wake up.
+    pub period: SimDuration,
+    /// Node-pool thresholds, cooldowns and tier templates.
+    pub policy: AutoscalerPolicy,
+    /// Long-running service groups to horizontally scale (may be empty).
+    #[serde(default)]
+    pub pod_groups: Vec<PodGroupSpec>,
+    /// When `true`, the replay runs
+    /// [`Orchestrator::audit_invariants`](orchestrator::Orchestrator::audit_invariants)
+    /// at every tick and panics on a violation — for tests; expensive on
+    /// big clusters.
+    #[serde(default)]
+    pub audit: bool,
+}
+
+impl AutoscaleConfig {
+    /// A controller firing every `period` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `period` is non-zero and `policy` passes
+    /// [`AutoscalerPolicy::validate`].
+    pub fn every(period: SimDuration, policy: AutoscalerPolicy) -> Self {
+        assert!(
+            period > SimDuration::ZERO,
+            "autoscale period must be non-zero"
+        );
+        policy.validate();
+        AutoscaleConfig {
+            period,
+            policy,
+            pod_groups: Vec::new(),
+            audit: false,
+        }
+    }
+
+    /// The defaults used by the autoscaling experiments: a pass every
+    /// 30 s under [`AutoscalerPolicy::paper_defaults`].
+    pub fn paper_defaults() -> Self {
+        AutoscaleConfig::every(
+            SimDuration::from_secs(30),
+            AutoscalerPolicy::paper_defaults(),
+        )
+    }
+
+    /// Adds a horizontally scaled service group.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the group fails [`PodGroupSpec::validate`].
+    pub fn with_pod_group(mut self, group: PodGroupSpec) -> Self {
+        group.validate();
+        self.pod_groups.push(group);
+        self
+    }
+
+    /// Audits orchestrator invariants at every tick (tests only).
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+}
+
 /// An injected maintenance window: at `drain_at_secs` the node is
 /// cordoned and its pods are live-migrated away (those with no feasible
 /// target stay put on the cordoned node); `down_for` later the node is
@@ -131,6 +203,10 @@ pub struct ReplayConfig {
     pub rebalance: Option<RebalanceConfig>,
     /// Injected maintenance windows (drain → migrate away → uncordon).
     pub drains: Vec<NodeDrain>,
+    /// Cluster + pod-group autoscaling; `None` (the default, and the
+    /// paper's fixed-cluster world) replays against a static node set.
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleConfig>,
     /// Fault injection on the probe→tsdb metrics pipeline (scrape drops,
     /// probe silences, delayed frames, shard write failures). A
     /// [`FaultPlan::is_noop`] plan makes the replay take the exact
@@ -154,9 +230,16 @@ impl ReplayConfig {
             failures: Vec::new(),
             rebalance: None,
             drains: Vec::new(),
+            autoscale: None,
             faults: FaultPlan::none(),
             max_sim_time: SimDuration::from_hours(48),
         }
+    }
+
+    /// Enables cluster + pod-group autoscaling.
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
     }
 
     /// Injects metrics-pipeline faults.

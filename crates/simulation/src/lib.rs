@@ -34,7 +34,9 @@ mod config;
 mod replay;
 
 pub use chaos::{FaultInjector, FaultPlan, FaultStats, FrameFate, ProbeSilence};
-pub use config::{MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig};
+pub use config::{
+    AutoscaleConfig, MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig,
+};
 pub use conformance::{TraceHarness, TraceOp};
 pub use replay::{replay, JobRun, ReplayResult};
 pub use sweep::{SweepJob, SweepProgress};

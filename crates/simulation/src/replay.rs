@@ -1,11 +1,13 @@
 //! The discrete-event replay loop.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use borg_trace::{Workload, WorkloadJob};
 use cluster::api::{NodeName, PodSpec, PodUid, ResourceRequirements, Resources};
 use des::stats::TimeSeries;
 use des::{EventQueue, SimDuration, SimTime};
+use orchestrator::autoscale::{ClusterAutoscaler, ElasticityMetrics, PodGroupAutoscaler};
 use orchestrator::events::ClusterEvent;
 use orchestrator::{Migration, Orchestrator, PodOutcome, PodRecord};
 use sgx_sim::units::ByteSize;
@@ -38,6 +40,12 @@ enum Event {
     /// configured threshold. Migrated pods' in-flight finishes are
     /// invalidated and rescheduled shifted by the transfer delay.
     RebalanceTick,
+    /// Periodic autoscaling pass: the cluster autoscaler grows/shrinks
+    /// the node tiers from pending-queue pressure, then the pod-group
+    /// autoscaler reconciles service replica counts. Armed like
+    /// [`Event::SchedulerTick`]; stays armed while service groups are
+    /// live even if the batch workload has drained.
+    AutoscaleTick,
     /// Injected maintenance window opens (index into `config.drains`):
     /// cordon the node and live-migrate its pods away.
     DrainNode(usize),
@@ -84,7 +92,7 @@ impl JobRun {
 }
 
 /// Everything a replay produces.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ReplayResult {
     runs: Vec<JobRun>,
     pending_epc_series: TimeSeries,
@@ -97,6 +105,35 @@ pub struct ReplayResult {
     timed_out: bool,
     fault_stats: FaultStats,
     degraded_decisions: u64,
+    elasticity: Option<ElasticityMetrics>,
+    group_peak_replicas: Vec<(String, usize)>,
+}
+
+// Hand-written so a replay without autoscaling formats exactly like the
+// pre-autoscaling derived `Debug` — the policy-golden digests hash this
+// output, and an always-present `elasticity: None` would shift every
+// digest without any behavioural change. The autoscale fields appear
+// only when the controllers ran.
+impl fmt::Debug for ReplayResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("ReplayResult");
+        s.field("runs", &self.runs)
+            .field("pending_epc_series", &self.pending_epc_series)
+            .field("pending_memory_series", &self.pending_memory_series)
+            .field("epc_imbalance_series", &self.epc_imbalance_series)
+            .field("migration_count", &self.migration_count)
+            .field("migration_downtime", &self.migration_downtime)
+            .field("events", &self.events)
+            .field("end_time", &self.end_time)
+            .field("timed_out", &self.timed_out)
+            .field("fault_stats", &self.fault_stats)
+            .field("degraded_decisions", &self.degraded_decisions);
+        if self.elasticity.is_some() || !self.group_peak_replicas.is_empty() {
+            s.field("elasticity", &self.elasticity)
+                .field("group_peak_replicas", &self.group_peak_replicas);
+        }
+        s.finish()
+    }
 }
 
 impl ReplayResult {
@@ -170,6 +207,19 @@ impl ReplayResult {
     /// effect for the degraded nodes).
     pub fn degraded_decisions(&self) -> u64 {
         self.degraded_decisions
+    }
+
+    /// Elasticity accounting of the cluster autoscaler (scale events,
+    /// scale-up latency, wasted capacity, peak node count); `None` when
+    /// the replay ran with autoscaling disabled.
+    pub fn elasticity(&self) -> Option<&ElasticityMetrics> {
+        self.elasticity.as_ref()
+    }
+
+    /// Highest live replica count each autoscaled pod group reached, in
+    /// group order. Empty without pod groups.
+    pub fn group_peak_replicas(&self) -> &[(String, usize)] {
+        &self.group_peak_replicas
     }
 
     /// Number of pods that completed normally.
@@ -246,6 +296,9 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     if let Some(rebalance) = config.rebalance {
         events.schedule(SimTime::ZERO + rebalance.period, Event::RebalanceTick);
     }
+    if let Some(autoscale) = &config.autoscale {
+        events.schedule(SimTime::ZERO + autoscale.period, Event::AutoscaleTick);
+    }
 
     let mut uid_to_job: BTreeMap<PodUid, usize> = BTreeMap::new();
     let mut generation: BTreeMap<PodUid, u32> = BTreeMap::new();
@@ -267,6 +320,19 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let mut sched_armed = true;
     let mut probe_armed = true;
     let mut rebalance_armed = config.rebalance.is_some();
+    let mut autoscale_armed = config.autoscale.is_some();
+    // The two autoscaling controllers (node pool + pod groups), present
+    // only when configured — a replay without them takes the exact
+    // pre-autoscaling code path.
+    let mut autoscaler = config.autoscale.as_ref().map(|autoscale| {
+        (
+            ClusterAutoscaler::new(autoscale.policy.clone()),
+            PodGroupAutoscaler::new(autoscale.pod_groups.clone()),
+        )
+    });
+    // Service replicas the pod-group controller submitted: they are
+    // infrastructure, not trace jobs, and stay out of `runs`.
+    let mut group_uids: BTreeSet<PodUid> = BTreeSet::new();
     // Fault injection: a no-op plan never constructs the injector, so
     // the replay is structurally identical to the pre-chaos engine
     // (bit-identity property-tested in tests/chaos_props.rs).
@@ -302,6 +368,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                     if !rebalance_armed {
                         events.schedule(now + rebalance.period, Event::RebalanceTick);
                         rebalance_armed = true;
+                    }
+                }
+                if let Some(autoscale) = &config.autoscale {
+                    if !autoscale_armed {
+                        events.schedule(now + autoscale.period, Event::AutoscaleTick);
+                        autoscale_armed = true;
                     }
                 }
             }
@@ -454,6 +526,12 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                         rebalance_armed = true;
                     }
                 }
+                if let Some(autoscale) = &config.autoscale {
+                    if !autoscale_armed {
+                        events.schedule(now + autoscale.period, Event::AutoscaleTick);
+                        autoscale_armed = true;
+                    }
+                }
             }
             Event::NodeRecover(index) => {
                 let failure = &config.failures[index];
@@ -478,6 +556,76 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                     events.schedule(now + rebalance.period, Event::RebalanceTick);
                 } else {
                     rebalance_armed = false;
+                }
+            }
+            Event::AutoscaleTick => {
+                let autoscale = config
+                    .autoscale
+                    .as_ref()
+                    .expect("event only scheduled when set");
+                let (cluster_as, groups_as) = autoscaler
+                    .as_mut()
+                    .expect("event only scheduled when the controllers exist");
+                let mut outcome = cluster_as.tick(&mut orch, now);
+                outcome.merge(groups_as.tick(&mut orch, now));
+                for (_, removal) in &outcome.removed {
+                    // Scale-down drained a node: migrated pods shift
+                    // their finishes by the transfer delay; stragglers
+                    // with no target were evicted back to the queue, so
+                    // their in-flight finishes are stale.
+                    apply_migrations(
+                        &removal.migrations,
+                        now,
+                        &mut events,
+                        &mut generation,
+                        &mut finish_at,
+                        &mut migration_count,
+                        &mut migration_downtime,
+                    );
+                    for &uid in &removal.requeued {
+                        *generation.entry(uid).or_insert(0) += 1;
+                        if finish_at.remove(&uid).is_some() {
+                            running -= 1;
+                        }
+                    }
+                }
+                for &uid in &outcome.retired {
+                    // The pod-group controller completed a surplus
+                    // replica; invalidate its backstop finish.
+                    *generation.entry(uid).or_insert(0) += 1;
+                    if finish_at.remove(&uid).is_some() {
+                        running -= 1;
+                    }
+                }
+                if !outcome.submitted.is_empty() {
+                    group_uids.extend(outcome.submitted.iter().copied());
+                    if !sched_armed {
+                        events.schedule(now, Event::SchedulerTick);
+                        sched_armed = true;
+                    }
+                    if !probe_armed {
+                        events.schedule(now, Event::ProbeTick);
+                        probe_armed = true;
+                    }
+                }
+                if autoscale.audit {
+                    let violations = orch.audit_invariants();
+                    assert!(
+                        violations.is_empty(),
+                        "orchestrator invariants violated at autoscale tick {now}: {violations:?}"
+                    );
+                }
+                if !outcome.is_empty() {
+                    epc_imbalance_series.record(now, orch.epc_imbalance());
+                }
+                // Unlike the other periodic loops, live service groups
+                // keep the controller armed through batch-workload lulls:
+                // future profile demand must still be served.
+                let groups_live = !groups_as.is_drained(now);
+                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() || groups_live {
+                    events.schedule(now + autoscale.period, Event::AutoscaleTick);
+                } else {
+                    autoscale_armed = false;
                 }
             }
             Event::DrainNode(index) => {
@@ -506,10 +654,14 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         }
     }
 
-    let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids);
+    let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids, &group_uids);
     let events = orch.events().iter().cloned().collect();
     let degraded_decisions = orch.degraded_decisions();
     let fault_stats = injector.map(FaultInjector::into_stats).unwrap_or_default();
+    let (elasticity, group_peak_replicas) = match &autoscaler {
+        Some((cluster_as, groups_as)) => (Some(*cluster_as.metrics()), groups_as.peak_replicas()),
+        None => (None, Vec::new()),
+    };
     ReplayResult {
         runs,
         pending_epc_series,
@@ -522,6 +674,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         timed_out,
         fault_stats,
         degraded_decisions,
+        elasticity,
+        group_peak_replicas,
     }
 }
 
@@ -599,9 +753,13 @@ fn build_runs(
     workload: &Workload,
     uid_to_job: &BTreeMap<PodUid, usize>,
     malicious_uids: &[PodUid],
+    group_uids: &BTreeSet<PodUid>,
 ) -> Vec<JobRun> {
     let mut runs = Vec::with_capacity(orch.records().len());
     for (uid, record) in orch.records() {
+        if group_uids.contains(uid) {
+            continue; // service replicas are infrastructure, not jobs
+        }
         let malicious = malicious_uids.contains(uid);
         let job = uid_to_job.get(uid).map(|&index| workload.jobs()[index]);
         runs.push(JobRun {

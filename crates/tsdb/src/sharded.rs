@@ -382,6 +382,21 @@ impl ShardedDatabase {
         evicted
     }
 
+    /// Removes every series whose first tag pair is `(key, value)` on
+    /// every shard; returns the number of samples dropped. See
+    /// [`Database::drop_series_with_first_tag`]. Takes each shard's
+    /// exclusive lock briefly — deregistration is rare, so this path is
+    /// not optimised for concurrency.
+    pub fn drop_series_with_first_tag(&self, key: &str, value: &str) -> usize {
+        let mut dropped = 0;
+        for shard in self.shards.iter() {
+            dropped += shard.write().drop_series_with_first_tag(key, value);
+        }
+        self.points_evicted
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Lifetime insert counter (lock-free read).
     pub fn points_inserted(&self) -> u64 {
         self.points_inserted.load(Ordering::Relaxed)

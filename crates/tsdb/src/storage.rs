@@ -552,6 +552,36 @@ impl Database {
         self.measurements.retain(|_, m| !m.is_empty());
     }
 
+    /// Removes every series — across all measurements — whose
+    /// lexicographically *first* tag pair is exactly `(key, value)`, and
+    /// returns the number of samples dropped (counted as evictions).
+    ///
+    /// This is node deregistration's storage teardown: probe series are
+    /// tagged `{nodename, pod_name}` and `"nodename"` sorts first, so one
+    /// call with `("nodename", node)` unregisters exactly that node's
+    /// series. A later node reusing the name starts from empty series
+    /// with fresh ids, so windowed-cache cursors keyed on the old ids
+    /// reset rather than resume.
+    pub fn drop_series_with_first_tag(&mut self, key: &str, value: &str) -> usize {
+        let (lo, hi) = first_tag_range(key, value);
+        let mut dropped = 0;
+        for series_map in self.measurements.values_mut() {
+            let doomed: Vec<TagSet> = series_map
+                .range(lo.clone()..hi.clone())
+                .map(|(tags, _)| tags.clone())
+                .collect();
+            for tags in doomed {
+                if let Some(series) = series_map.remove(&tags) {
+                    dropped += series.read().samples.len();
+                }
+            }
+        }
+        self.measurements.retain(|_, m| !m.is_empty());
+        self.points_evicted
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Lifetime count of inserts that arrived out of time order.
     pub fn out_of_order_inserts(&self) -> u64 {
         self.out_of_order_inserts.load(Ordering::Relaxed)
