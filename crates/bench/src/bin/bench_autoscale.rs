@@ -24,11 +24,11 @@
 
 use std::time::Instant;
 
-use borg_trace::{GeneratorConfig, Workload, WorkloadParams};
+use borg_trace::{BorgSynthetic, GeneratorConfig, WorkloadParams};
 use des::{SimDuration, SimTime};
 use orchestrator::autoscale::{AutoscalerPolicy, PodGroupSpec};
 use sgx_sim::units::ByteSize;
-use simulation::{analysis, replay, AutoscaleConfig, ReplayConfig, ReplayResult};
+use simulation::{analysis, replay_stream, AutoscaleConfig, ReplayConfig, ReplayResult};
 
 const SEED: u64 = 61;
 /// Paper cluster baseline: master + two standard + two SGX workers.
@@ -92,28 +92,43 @@ fn autoscale_config(params: &BenchParams) -> AutoscaleConfig {
     AutoscaleConfig::every(SimDuration::from_secs(10), policy).with_pod_group(service_group())
 }
 
-fn run(params: &BenchParams) -> (Workload, ReplayResult, f64) {
-    let trace = GeneratorConfig::full_scale(SEED)
+fn run(params: &BenchParams) -> (ReplayResult, f64) {
+    // The whole trace streams through `BorgSynthetic`: no workload is
+    // materialised up front, so the timed region covers generation AND
+    // replay while holding at most one job in memory.
+    let config = GeneratorConfig::full_scale(SEED)
         .with_mean_concurrency(params.mean_concurrency)
-        .with_horizon(params.horizon)
-        .generate();
-    let workload = Workload::materialize(&trace, &WorkloadParams::paper(1.0, SEED));
-    let config = ReplayConfig::paper(SEED).with_autoscale(autoscale_config(params));
+        .with_horizon(params.horizon);
+    let mut frontend = BorgSynthetic::new(config, WorkloadParams::paper(1.0, SEED));
+    let replay_config = ReplayConfig::paper(SEED).with_autoscale(autoscale_config(params));
     let start = Instant::now();
-    let result = replay(&workload, &config);
+    let result = replay_stream(&mut frontend, &replay_config);
     let wall = start.elapsed().as_secs_f64();
-    (workload, result, wall)
+    (result, wall)
 }
 
-fn check(params: &BenchParams, workload: &Workload, result: &ReplayResult) {
+/// Jobs that came from the trace (the service group's replicas are
+/// infrastructure pods with no trace job).
+fn trace_jobs(result: &ReplayResult) -> usize {
+    result.runs().iter().filter(|r| r.job.is_some()).count()
+}
+
+fn check(params: &BenchParams, result: &ReplayResult) {
     assert!(!result.timed_out(), "replay timed out");
     let terminal = result.completed_count() + result.denied_count() + result.unschedulable_count();
     // The service group's replicas are infrastructure, not workload jobs;
-    // terminal counts cover both, so the workload is a lower bound.
+    // terminal counts cover both, so the trace jobs are a lower bound.
     assert!(
-        terminal >= workload.len(),
+        terminal >= trace_jobs(result),
         "non-terminal pods remain: {terminal} < {}",
-        workload.len()
+        trace_jobs(result)
+    );
+    // The stream's raison d'être: the replay never held more than one
+    // not-yet-submitted job, regardless of the trace's size.
+    assert!(
+        result.peak_materialized_jobs() <= 1,
+        "streaming replay materialised {} jobs ahead of the clock",
+        result.peak_materialized_jobs()
     );
     let metrics = result.elasticity().expect("autoscaling is enabled");
     let peak = metrics.peak_nodes;
@@ -127,9 +142,9 @@ fn check(params: &BenchParams, workload: &Workload, result: &ReplayResult) {
         "no scale-up latency recorded"
     );
     assert!(
-        pod_events(workload) >= params.min_pod_events,
+        pod_events(result) >= params.min_pod_events,
         "trace too small: {} pod events",
-        pod_events(workload)
+        pod_events(result)
     );
 }
 
@@ -137,8 +152,8 @@ fn check(params: &BenchParams, workload: &Workload, result: &ReplayResult) {
 /// submission plus one finish per job. A strict lower bound — requeues,
 /// migrations and scheduler/probe/autoscale ticks come on top — and
 /// unlike the orchestrator's bounded `events()` log it never saturates.
-fn pod_events(workload: &Workload) -> usize {
-    2 * workload.len()
+fn pod_events(result: &ReplayResult) -> usize {
+    2 * trace_jobs(result)
 }
 
 fn main() {
@@ -149,21 +164,22 @@ fn main() {
         BenchParams::full()
     };
 
-    let (workload, result, wall) = run(&params);
-    check(&params, &workload, &result);
+    let (result, wall) = run(&params);
+    check(&params, &result);
 
     if smoke {
         // Determinism gate (full-scale replays are too big to run twice
         // in CI): a second replay must be bit-identical.
-        let (_, again, _) = run(&params);
+        let (again, _) = run(&params);
         assert_eq!(result.runs(), again.runs(), "replay is not deterministic");
         assert_eq!(result.events(), again.events());
         assert_eq!(result.elasticity(), again.elasticity());
         assert_eq!(result.group_peak_replicas(), again.group_peak_replicas());
         eprintln!(
-            "bench_autoscale --smoke ok: {} jobs, {} pod events, peak {} nodes, deterministic",
-            workload.len(),
-            pod_events(&workload),
+            "bench_autoscale --smoke ok: {} jobs streamed (lookahead {}), {} pod events, peak {} nodes, deterministic",
+            trace_jobs(&result),
+            result.peak_materialized_jobs(),
+            pod_events(&result),
             result.elasticity().map_or(0, |m| m.peak_nodes),
         );
         return;
@@ -183,13 +199,14 @@ fn main() {
     println!("  \"benchmark\": \"autoscaled_full_trace_replay\",");
     println!("  \"seed\": {SEED},");
     println!("  \"trace\": {{");
+    println!("    \"frontend\": \"borg-synthetic\",");
     println!(
         "    \"mean_concurrency\": {},",
         params.mean_concurrency as u64
     );
     println!("    \"horizon_secs\": {},", params.horizon.as_secs_f64());
-    println!("    \"jobs\": {},", workload.len());
-    println!("    \"pod_events\": {}", pod_events(&workload));
+    println!("    \"jobs\": {},", trace_jobs(&result));
+    println!("    \"pod_events\": {}", pod_events(&result));
     println!("  }},");
     println!("  \"autoscaler\": {{");
     println!("    \"period_secs\": 10,");
@@ -203,7 +220,11 @@ fn main() {
     println!("    \"sim_end_secs\": {sim_end:.0},");
     println!(
         "    \"events_per_wall_sec\": {:.0},",
-        pod_events(&workload) as f64 / wall
+        pod_events(&result) as f64 / wall
+    );
+    println!(
+        "    \"peak_materialized_jobs\": {},",
+        result.peak_materialized_jobs()
     );
     println!("    \"completed\": {},", result.completed_count());
     println!("    \"denied\": {},", result.denied_count());

@@ -1,0 +1,151 @@
+//! Online serving throughput: sustained pods-bound/sec through the
+//! wall-clock serving loop.
+//!
+//! A producer thread pushes Borg-derived jobs through the in-process
+//! submission API ([`simulation::online_channel`]) as fast as the
+//! channel accepts them while [`simulation::OnlineServer`] stamps each
+//! arrival with its wall-clock instant, runs the scheduler and probe
+//! loops on their configured periods, and — once the stream closes —
+//! drains the in-flight work at virtual speed. The headline metric is
+//! the session's sustained scheduler throughput: pods bound per
+//! wall-clock second over ingest plus drain.
+//!
+//! Prints a JSON document (see `BENCH_online.json` at the repo root
+//! for a recorded run) to stdout:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_online > BENCH_online.json
+//! ```
+//!
+//! `--smoke` serves a reduced stream and asserts the invariants CI
+//! cares about: every submission arrives, every pod reaches a terminal
+//! state, everything not denied or unschedulable was bound, and the
+//! reported rate is positive.
+
+use borg_trace::{GeneratorConfig, Workload, WorkloadJob, WorkloadParams};
+use cluster::machine::MachineSpec;
+use cluster::node::NodeRole;
+use cluster::topology::ClusterSpec;
+use des::SimTime;
+use simulation::{online_channel, OnlineReport, OnlineServer, ReplayConfig};
+
+const SEED: u64 = 73;
+
+struct BenchParams {
+    /// SGX workers in the serving cluster.
+    nodes: usize,
+    /// Jobs pushed through the submission channel.
+    jobs: usize,
+}
+
+impl BenchParams {
+    fn full() -> Self {
+        BenchParams {
+            nodes: 1_000,
+            jobs: 20_000,
+        }
+    }
+
+    fn smoke() -> Self {
+        BenchParams {
+            nodes: 20,
+            jobs: 200,
+        }
+    }
+}
+
+/// The submitted stream: the first `n` jobs of a Borg-derived workload,
+/// all SGX so the homogeneous SGX cluster serves every one.
+fn jobs(params: &BenchParams) -> Vec<WorkloadJob> {
+    let config = if params.jobs > 1_000 {
+        GeneratorConfig::full_scale(SEED).with_mean_concurrency(10_000.0)
+    } else {
+        GeneratorConfig::small(SEED).with_mean_concurrency(100.0)
+    };
+    let workload = Workload::materialize(&config.generate(), &WorkloadParams::paper(1.0, SEED));
+    assert!(
+        workload.len() >= params.jobs,
+        "trace too small: {} jobs generated, {} needed",
+        workload.len(),
+        params.jobs
+    );
+    workload.jobs()[..params.jobs].to_vec()
+}
+
+fn serving_cluster(nodes: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::new();
+    for i in 0..nodes {
+        spec = spec.with_node(
+            format!("node-{i:05}"),
+            MachineSpec::sgx_node(),
+            NodeRole::Worker,
+        );
+    }
+    spec
+}
+
+fn run(params: &BenchParams) -> OnlineReport {
+    let jobs = jobs(params);
+    let (handle, mut frontend) = online_channel();
+    let submitter = std::thread::spawn(move || {
+        for job in jobs {
+            assert!(handle.submit(job), "server hung up mid-stream");
+        }
+    });
+    let config = ReplayConfig::paper(SEED).with_cluster(serving_cluster(params.nodes));
+    let report = OnlineServer::new(&config).serve(&mut frontend);
+    submitter.join().expect("submitter thread panicked");
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        BenchParams::smoke()
+    } else {
+        BenchParams::full()
+    };
+
+    let report = run(&params);
+    assert_eq!(report.submitted, params.jobs, "submissions were lost");
+    assert_eq!(
+        report.completed + report.denied + report.unschedulable,
+        report.submitted,
+        "non-terminal pods remain after the drain"
+    );
+    assert!(
+        report.bound as usize >= report.submitted - report.denied - report.unschedulable,
+        "pods completed without ever being bound"
+    );
+    assert!(report.bound_per_sec() > 0.0, "zero serving throughput");
+
+    if smoke {
+        eprintln!(
+            "bench_online --smoke ok: {} submitted, {} bound in {:.2}s wall ({:.0} pods bound/sec)",
+            report.submitted,
+            report.bound,
+            report.wall_secs,
+            report.bound_per_sec(),
+        );
+        return;
+    }
+
+    let sim_end = report.sim_end.saturating_since(SimTime::ZERO).as_secs_f64();
+    println!("{{");
+    println!("  \"benchmark\": \"online_serving\",");
+    println!("  \"seed\": {SEED},");
+    println!("  \"cluster\": {{");
+    println!("    \"sgx_nodes\": {}", params.nodes);
+    println!("  }},");
+    println!("  \"serving\": {{");
+    println!("    \"submitted\": {},", report.submitted);
+    println!("    \"bound\": {},", report.bound);
+    println!("    \"completed\": {},", report.completed);
+    println!("    \"denied\": {},", report.denied);
+    println!("    \"unschedulable\": {},", report.unschedulable);
+    println!("    \"wall_secs\": {:.2},", report.wall_secs);
+    println!("    \"sim_end_secs\": {sim_end:.2},");
+    println!("    \"bound_per_wall_sec\": {:.0}", report.bound_per_sec());
+    println!("  }}");
+    println!("}}");
+}

@@ -333,46 +333,37 @@ impl GeneratorConfig {
     /// frequency reduction fused into generation so that full-scale traces
     /// never exist in memory.
     ///
+    /// Equivalent to collecting [`stream_sampled`](Self::stream_sampled).
+    ///
     /// # Panics
     ///
     /// Panics if `keep_every` is zero.
     pub fn generate_sampled(&self, keep_every: usize) -> Trace {
-        assert!(keep_every > 0, "keep_every must be at least 1");
-        // Independent streams: skipping a job's attributes must not
-        // perturb the arrival process.
-        let mut arrivals_rng = seeded_rng(derive_seed(self.seed, "arrivals"));
-        let mut attrs_rng = seeded_rng(derive_seed(self.seed, "attributes"));
+        Trace::from_jobs(self.stream_sampled(keep_every).collect())
+    }
 
-        let lambda_max = self.base_rate() * self.profile.max_multiplier();
-        let horizon = self.horizon.as_secs_f64();
-        let mut jobs = Vec::new();
-        let mut t = 0.0_f64;
-        let mut arrival_index: usize = 0;
-        loop {
-            t += sample_exponential(&mut arrivals_rng, lambda_max);
-            if t >= horizon {
-                break;
-            }
-            // Thinning for the non-homogeneous rate.
-            let local = self.profile.multiplier(SimDuration::from_secs_f64(t));
-            if arrivals_rng.random::<f64>() * self.profile.max_multiplier() > local {
-                continue;
-            }
-            arrival_index += 1;
-            if !arrival_index.is_multiple_of(keep_every) {
-                continue;
-            }
-            let duration = self.duration.sample(&mut attrs_rng);
-            let (assigned, max_usage) = self.memory.sample(&mut attrs_rng);
-            jobs.push(TraceJob {
-                id: JobId::new(arrival_index as u64),
-                submit: SimTime::from_secs_f64(t),
-                duration,
-                assigned_mem_fraction: assigned,
-                max_mem_fraction: max_usage,
-            });
+    /// Pull-based variant of [`generate_sampled`](Self::generate_sampled):
+    /// yields the same jobs in the same (submission) order, one at a time,
+    /// without ever materialising the trace. The streaming workload
+    /// frontends are built on this iterator so a multi-day horizon costs
+    /// O(in-flight) memory instead of O(total jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep_every` is zero.
+    pub fn stream_sampled(&self, keep_every: usize) -> TraceStream {
+        assert!(keep_every > 0, "keep_every must be at least 1");
+        TraceStream {
+            config: *self,
+            // Independent streams: skipping a job's attributes must not
+            // perturb the arrival process.
+            arrivals_rng: seeded_rng(derive_seed(self.seed, "arrivals")),
+            attrs_rng: seeded_rng(derive_seed(self.seed, "attributes")),
+            lambda_max: self.base_rate() * self.profile.max_multiplier(),
+            keep_every,
+            t: 0.0,
+            arrival_index: 0,
         }
-        Trace::from_jobs(jobs)
     }
 
     /// Computes the expected concurrent-jobs curve (Fig. 5) without
@@ -432,6 +423,59 @@ impl GeneratorConfig {
                 (SimTime::ZERO + t, noisy.max(0.0))
             })
             .collect()
+    }
+}
+
+/// Streaming job source produced by
+/// [`GeneratorConfig::stream_sampled`]: a lazy non-homogeneous Poisson
+/// process with thinning, yielding [`TraceJob`]s in submission order.
+///
+/// Draw-for-draw identical to the materialising path — both consume the
+/// `arrivals`/`attributes` RNG streams in the same sequence — so
+/// collecting the iterator reproduces `generate_sampled` bit for bit.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    config: GeneratorConfig,
+    arrivals_rng: StdRng,
+    attrs_rng: StdRng,
+    lambda_max: f64,
+    keep_every: usize,
+    t: f64,
+    arrival_index: usize,
+}
+
+impl Iterator for TraceStream {
+    type Item = TraceJob;
+
+    fn next(&mut self) -> Option<TraceJob> {
+        let horizon = self.config.horizon.as_secs_f64();
+        loop {
+            self.t += sample_exponential(&mut self.arrivals_rng, self.lambda_max);
+            if self.t >= horizon {
+                return None;
+            }
+            // Thinning for the non-homogeneous rate.
+            let local = self
+                .config
+                .profile
+                .multiplier(SimDuration::from_secs_f64(self.t));
+            if self.arrivals_rng.random::<f64>() * self.config.profile.max_multiplier() > local {
+                continue;
+            }
+            self.arrival_index += 1;
+            if !self.arrival_index.is_multiple_of(self.keep_every) {
+                continue;
+            }
+            let duration = self.config.duration.sample(&mut self.attrs_rng);
+            let (assigned, max_usage) = self.config.memory.sample(&mut self.attrs_rng);
+            return Some(TraceJob {
+                id: JobId::new(self.arrival_index as u64),
+                submit: SimTime::from_secs_f64(self.t),
+                duration,
+                assigned_mem_fraction: assigned,
+                max_mem_fraction: max_usage,
+            });
+        }
     }
 }
 
@@ -602,6 +646,21 @@ mod tests {
     #[should_panic(expected = "keep_every")]
     fn zero_keep_every_panics() {
         let _ = GeneratorConfig::small(0).generate_sampled(0);
+    }
+
+    #[test]
+    fn stream_sampled_matches_generate_sampled() {
+        for keep_every in [1usize, 7] {
+            let materialised = GeneratorConfig::small(12).generate_sampled(keep_every);
+            let streamed: Vec<_> = GeneratorConfig::small(12)
+                .stream_sampled(keep_every)
+                .collect();
+            assert_eq!(materialised.jobs(), streamed.as_slice());
+        }
+        // Exhausted streams stay exhausted.
+        let mut stream = GeneratorConfig::small(12).stream_sampled(1);
+        for _ in stream.by_ref() {}
+        assert!(stream.next().is_none());
     }
 
     #[test]

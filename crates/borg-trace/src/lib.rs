@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod frontend;
 pub mod generator;
 pub mod stats;
 pub mod workload;
@@ -45,7 +46,12 @@ pub mod workload;
 mod job;
 mod pipeline;
 
-pub use generator::{ConcurrencyProfile, DurationModel, GeneratorConfig, MemoryModel};
+pub use frontend::{
+    AdversarialMix, AlibabaShaped, BorgSynthetic, DiurnalServing, FrontendHint, FrontendParams,
+    FrontendRegistry, FrontendScale, MaterializedFrontend, ServiceGroup, TraceFrontend,
+    WorkloadEvent,
+};
+pub use generator::{ConcurrencyProfile, DurationModel, GeneratorConfig, MemoryModel, TraceStream};
 pub use job::{JobId, Trace, TraceJob};
 pub use pipeline::TracePipeline;
 pub use workload::{JobKind, Workload, WorkloadJob, WorkloadParams};

@@ -13,7 +13,7 @@ use des::rng::{derive_seed, seeded_rng};
 use des::{SimDuration, SimTime};
 use sgx_sim::units::{ByteSize, EpcPages, USABLE_EPC};
 
-use crate::job::{JobId, Trace};
+use crate::job::{JobId, Trace, TraceJob};
 
 /// Whether a job requires SGX.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -97,6 +97,37 @@ pub struct WorkloadJob {
 }
 
 impl WorkloadJob {
+    /// Materialises a single trace job under the given parameters.
+    ///
+    /// The SGX designation is a deterministic function of
+    /// `(params.seed, job id)` alone — independent across jobs — so
+    /// materialising lazily (one job at a time, as the streaming
+    /// frontends do) is bit-identical to materialising the whole trace
+    /// up front via [`Workload::materialize`].
+    pub fn from_trace(j: &TraceJob, params: &WorkloadParams) -> Self {
+        let mut rng = seeded_rng(derive_seed(params.seed, &format!("sgx:{}", j.id.as_u64())));
+        let kind = if rng.random::<f64>() < params.sgx_ratio {
+            JobKind::Sgx
+        } else {
+            JobKind::Standard
+        };
+        let multiplier = match kind {
+            JobKind::Sgx => params.sgx_multiplier,
+            JobKind::Standard => params.standard_multiplier,
+        };
+        let cap = params.fraction_cap.unwrap_or(1.0);
+        let assigned = j.assigned_mem_fraction.min(cap);
+        let max_usage = j.max_mem_fraction.min(cap);
+        WorkloadJob {
+            id: j.id,
+            submit: j.submit,
+            duration: j.duration,
+            kind,
+            mem_request: multiplier.mul_f64(assigned),
+            mem_usage: multiplier.mul_f64(max_usage),
+        }
+    }
+
     /// `true` when the job allocates more than it advertised.
     pub fn over_uses_memory(&self) -> bool {
         self.mem_usage > self.mem_request
@@ -130,30 +161,7 @@ impl Workload {
     pub fn materialize(trace: &Trace, params: &WorkloadParams) -> Self {
         let jobs = trace
             .iter()
-            .map(|j| {
-                let mut rng =
-                    seeded_rng(derive_seed(params.seed, &format!("sgx:{}", j.id.as_u64())));
-                let kind = if rng.random::<f64>() < params.sgx_ratio {
-                    JobKind::Sgx
-                } else {
-                    JobKind::Standard
-                };
-                let multiplier = match kind {
-                    JobKind::Sgx => params.sgx_multiplier,
-                    JobKind::Standard => params.standard_multiplier,
-                };
-                let cap = params.fraction_cap.unwrap_or(1.0);
-                let assigned = j.assigned_mem_fraction.min(cap);
-                let max_usage = j.max_mem_fraction.min(cap);
-                WorkloadJob {
-                    id: j.id,
-                    submit: j.submit,
-                    duration: j.duration,
-                    kind,
-                    mem_request: multiplier.mul_f64(assigned),
-                    mem_usage: multiplier.mul_f64(max_usage),
-                }
-            })
+            .map(|j| WorkloadJob::from_trace(j, params))
             .collect();
         Workload { jobs }
     }
@@ -201,7 +209,7 @@ impl FromIterator<WorkloadJob> for Workload {
 mod tests {
     use super::*;
     use crate::generator::GeneratorConfig;
-    use crate::job::TraceJob;
+    use crate::job::{JobId, TraceJob};
 
     fn tiny_trace() -> Trace {
         vec![

@@ -40,6 +40,10 @@ COMMON OPTIONS:
     --quick            Use the small one-hour trace instead of paper scale
     --sgx-ratio <R>    Fraction of jobs designated SGX-enabled (default 0.5)
     --scheduler <S>    sgx-binpack | sgx-spread | default (default sgx-binpack)
+    --frontend <NAME>  Stream submissions from a registered trace frontend
+                       instead of materialising a workload; --quick selects the
+                       smoke-scale calibration (see --list-frontends)
+    --list-frontends   List the registered trace frontends and exit
     --percentage-of-nodes-to-score <P>
                        Score only P% of feasible nodes per placement, 1-100
                        (default 100: score every node, the paper's behaviour)
@@ -184,13 +188,32 @@ fn load_or_generate_trace(args: &mut Args) -> Result<borg_trace::Trace, String> 
 }
 
 fn cmd_replay(args: &mut Args) -> ExitCode {
+    if args.has_flag("--list-frontends") {
+        for name in FrontendRegistry::builtin().names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let seed = match args.flag_u64("--seed") {
         Ok(v) => v.unwrap_or(42),
         Err(e) => return usage_error(&e),
     };
-    let trace = match load_or_generate_trace(args) {
-        Ok(t) => t,
-        Err(e) => return usage_error(&e),
+    let frontend_name = args.flag_value("--frontend");
+    if let Some(name) = &frontend_name {
+        if !FrontendRegistry::builtin().contains(name) {
+            return usage_error(&format!(
+                "unknown frontend `{name}` (registered: {})",
+                FrontendRegistry::builtin().names().join(", ")
+            ));
+        }
+    }
+    let trace = if frontend_name.is_some() {
+        None
+    } else {
+        match load_or_generate_trace(args) {
+            Ok(t) => Some(t),
+            Err(e) => return usage_error(&e),
+        }
     };
     let ratio = match args.flag_f64("--sgx-ratio") {
         Ok(v) => v.unwrap_or(0.5),
@@ -210,7 +233,6 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
         ));
     }
 
-    let workload = Workload::materialize(&trace, &WorkloadParams::paper(ratio, seed));
     let mut config = ReplayConfig::paper(seed).with_scheduler(&scheduler);
     match args.flag_u64("--percentage-of-nodes-to-score") {
         Ok(Some(percentage)) => {
@@ -249,12 +271,34 @@ fn cmd_replay(args: &mut Args) -> ExitCode {
         Err(e) => return usage_error(&e),
     }
 
-    eprintln!(
-        "replaying {} jobs ({} SGX) under {scheduler}…",
-        workload.len(),
-        workload.sgx_count()
-    );
-    let result = simulation::replay(&workload, &config);
+    let result = match &frontend_name {
+        Some(name) => {
+            let params = if args.has_flag("--quick") {
+                FrontendParams::new(seed, ratio).smoke()
+            } else {
+                FrontendParams::new(seed, ratio)
+            };
+            config = config.with_frontend(name);
+            let mut frontend = FrontendRegistry::builtin()
+                .build(name, &params)
+                .expect("name validated against the registry above");
+            eprintln!(
+                "streaming ~{} jobs from frontend `{name}` under {scheduler}…",
+                frontend.hint().expected_jobs
+            );
+            simulation::replay_stream(frontend.as_mut(), &config)
+        }
+        None => {
+            let trace = trace.expect("materialised path always loads a trace");
+            let workload = Workload::materialize(&trace, &WorkloadParams::paper(ratio, seed));
+            eprintln!(
+                "replaying {} jobs ({} SGX) under {scheduler}…",
+                workload.len(),
+                workload.sgx_count()
+            );
+            simulation::replay(&workload, &config)
+        }
+    };
 
     println!("makespan:      {}", result.end_time());
     println!(

@@ -1,11 +1,14 @@
 //! The high-level experiment builder used by examples and benchmarks.
 
-use borg_trace::{GeneratorConfig, Trace, TracePipeline, Workload, WorkloadParams};
+use borg_trace::{
+    FrontendParams, FrontendRegistry, GeneratorConfig, Trace, TracePipeline, Workload,
+    WorkloadParams,
+};
 use cluster::topology::ClusterSpec;
 use sgx_sim::units::ByteSize;
 use simulation::{
-    replay, sweep, AutoscaleConfig, FaultPlan, MaliciousConfig, RebalanceConfig, ReplayConfig,
-    ReplayResult, SweepProgress,
+    replay, replay_stream, sweep, AutoscaleConfig, FaultPlan, MaliciousConfig, RebalanceConfig,
+    ReplayConfig, ReplayResult, SweepProgress,
 };
 
 /// Which trace the experiment replays.
@@ -46,6 +49,7 @@ pub struct Experiment {
     rebalance: Option<RebalanceConfig>,
     autoscale: Option<AutoscaleConfig>,
     faults: FaultPlan,
+    frontend: Option<String>,
 }
 
 impl Experiment {
@@ -63,6 +67,7 @@ impl Experiment {
             rebalance: None,
             autoscale: None,
             faults: FaultPlan::none(),
+            frontend: None,
         }
     }
 
@@ -143,6 +148,34 @@ impl Experiment {
         self
     }
 
+    /// Streams the workload from the named registry frontend
+    /// (`borg-synthetic`, `alibaba-2017`, `diurnal-serving`,
+    /// `adversarial-mix`) instead of materialising the preset trace.
+    /// [`TracePreset::Quick`] maps to the frontend's smoke scale,
+    /// [`TracePreset::PaperReplay`] to its full scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not in [`FrontendRegistry::builtin`].
+    pub fn frontend(mut self, name: &str) -> Self {
+        assert!(
+            FrontendRegistry::builtin().contains(name),
+            "unknown frontend {name:?}; available: {:?}",
+            FrontendRegistry::builtin().names()
+        );
+        self.frontend = Some(name.to_string());
+        self
+    }
+
+    /// Parameters a registry frontend is built from for this experiment.
+    pub fn frontend_params(&self) -> FrontendParams {
+        let params = FrontendParams::new(self.seed, self.sgx_ratio);
+        match self.preset {
+            TracePreset::Quick => params.smoke(),
+            TracePreset::PaperReplay => params,
+        }
+    }
+
     /// The prepared (sliced/sampled/rebased) trace this experiment replays.
     pub fn prepared_trace(&self) -> Trace {
         match self.preset {
@@ -185,12 +218,27 @@ impl Experiment {
         if !self.faults.is_noop() {
             config = config.with_faults(self.faults.clone());
         }
+        if let Some(name) = &self.frontend {
+            config = config.with_frontend(name);
+        }
         config
     }
 
-    /// Runs the experiment.
+    /// Runs the experiment: through the streaming engine when a
+    /// [`frontend`](Self::frontend) is named, through the materialised
+    /// workload otherwise (the two are bit-identical for the Borg
+    /// generator; see `tests/frontend_props.rs` in `simulation`).
     pub fn run(&self) -> ReplayResult {
-        replay(&self.workload(), &self.replay_config())
+        let config = self.replay_config();
+        match &config.frontend {
+            Some(name) => {
+                let mut frontend = FrontendRegistry::builtin()
+                    .build(name, &self.frontend_params())
+                    .expect("frontend names are validated by the builder");
+                replay_stream(frontend.as_mut(), &config)
+            }
+            None => replay(&self.workload(), &config),
+        }
     }
 
     /// Runs a batch of experiments on the parallel sweep, returning results
@@ -202,10 +250,20 @@ impl Experiment {
 
     /// Like [`run_all`](Self::run_all) with a per-run completion callback
     /// (fires from worker threads, in completion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an experiment names a streaming frontend: the sweep
+    /// pre-materialises every workload, which is exactly what streaming
+    /// avoids — run those through [`run`](Self::run) instead.
     pub fn run_all_with_progress<F>(experiments: &[Experiment], progress: F) -> Vec<ReplayResult>
     where
         F: Fn(SweepProgress) + Sync,
     {
+        assert!(
+            experiments.iter().all(|e| e.frontend.is_none()),
+            "run_all sweeps materialised workloads; run streaming-frontend experiments via run()"
+        );
         let jobs: Vec<sweep::SweepJob> = experiments
             .iter()
             .map(|exp| (exp.workload(), exp.replay_config()))
@@ -332,6 +390,55 @@ mod tests {
         assert!(result.degraded_decisions() > 0);
         // Fault-free by default.
         assert!(Experiment::quick(9).replay_config().faults.is_noop());
+    }
+
+    #[test]
+    fn frontend_builder_streams_and_stays_deterministic() {
+        let exp = Experiment::quick(12)
+            .sgx_ratio(0.75)
+            .frontend(borg_trace::frontend::ALIBABA_2017);
+        assert_eq!(
+            exp.replay_config().frontend.as_deref(),
+            Some("alibaba-2017")
+        );
+        let a = exp.run();
+        let b = exp.run();
+        assert!(!a.timed_out());
+        assert!(a.completed_count() > 0);
+        assert_eq!(a.runs(), b.runs());
+        assert_eq!(a.end_time(), b.end_time());
+        // The stream never held more than one job ahead of the clock.
+        assert_eq!(a.peak_materialized_jobs(), 1);
+        // Off by default.
+        assert!(Experiment::quick(12).replay_config().frontend.is_none());
+    }
+
+    #[test]
+    fn streaming_borg_frontend_matches_legacy_quick_run() {
+        // Quick preset and the borg-synthetic smoke frontend use
+        // different horizons, so compare the frontend against its own
+        // materialised stream rather than against `run()`.
+        let exp = Experiment::quick(13)
+            .sgx_ratio(0.5)
+            .frontend(borg_trace::frontend::BORG_SYNTHETIC);
+        let result = exp.run();
+        assert!(!result.timed_out());
+        let terminal =
+            result.completed_count() + result.denied_count() + result.unschedulable_count();
+        assert_eq!(terminal, result.runs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown frontend")]
+    fn unknown_frontend_panics_eagerly() {
+        let _ = Experiment::quick(0).frontend("no-such-frontend");
+    }
+
+    #[test]
+    #[should_panic(expected = "run_all")]
+    fn run_all_rejects_streaming_frontends() {
+        let exps = [Experiment::quick(1).frontend(borg_trace::frontend::BORG_SYNTHETIC)];
+        let _ = Experiment::run_all(&exps);
     }
 
     #[test]

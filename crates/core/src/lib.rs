@@ -66,7 +66,8 @@ pub use experiment::{Experiment, TracePreset};
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use borg_trace::{
-        GeneratorConfig, JobKind, Trace, TracePipeline, Workload, WorkloadParams,
+        FrontendParams, FrontendRegistry, GeneratorConfig, JobKind, Trace, TraceFrontend,
+        TracePipeline, Workload, WorkloadEvent, WorkloadParams,
     };
     pub use cluster::api::{NodeName, PodSpec, PodUid, ResourceRequirements, Resources};
     pub use cluster::machine::MachineSpec;
@@ -83,8 +84,8 @@ pub mod prelude {
     pub use sgx_sim::units::{ByteSize, EpcPages};
     pub use sgx_sim::SgxVersion;
     pub use simulation::{
-        replay, MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig,
-        ReplayResult,
+        online_channel, replay, replay_stream, MaliciousConfig, NodeDrain, NodeFailure,
+        OnlineReport, OnlineServer, RebalanceConfig, ReplayConfig, ReplayResult,
     };
     pub use stress::Stressor;
 

@@ -1,33 +1,55 @@
-//! Keeps the README's scheduler table generated from the registry.
+//! Keeps the documented registry tables generated from the registries.
 //!
 //! The table between the `registry-table` markers in `README.md` must be
-//! exactly what [`PolicyRegistry::markdown_table`] renders — the registry
-//! is the single source of truth for policy names and pipeline shapes,
-//! and the docs must not drift from it.
+//! exactly what [`PolicyRegistry::markdown_table`] renders, and the table
+//! between the `frontend-table` markers in `DESIGN.md` exactly what
+//! [`FrontendRegistry::markdown_table`] renders — the registries are the
+//! single source of truth for names and shapes, and the docs must not
+//! drift from them.
 
+use borg_trace::FrontendRegistry;
 use orchestrator::PolicyRegistry;
+
+/// The slice of `text` between `<!-- {marker}:begin -->` and
+/// `<!-- {marker}:end -->`.
+fn between_markers<'a>(text: &'a str, file: &str, marker: &str) -> &'a str {
+    let begin = format!("<!-- {marker}:begin -->\n");
+    let end = format!("<!-- {marker}:end -->");
+    let start = text
+        .find(&begin)
+        .unwrap_or_else(|| panic!("{file} contains the {marker} begin marker"))
+        + begin.len();
+    let stop = text[start..]
+        .find(&end)
+        .map(|i| start + i)
+        .unwrap_or_else(|| panic!("{file} contains the {marker} end marker"));
+    &text[start..stop]
+}
 
 #[test]
 fn readme_scheduler_table_matches_the_registry() {
     let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
     let readme = std::fs::read_to_string(readme_path).expect("README.md is readable");
 
-    let begin = "<!-- registry-table:begin -->\n";
-    let end = "<!-- registry-table:end -->";
-    let start = readme
-        .find(begin)
-        .expect("README.md contains the registry-table begin marker")
-        + begin.len();
-    let stop = readme[start..]
-        .find(end)
-        .map(|i| start + i)
-        .expect("README.md contains the registry-table end marker");
-
     let expected = PolicyRegistry::builtin().markdown_table();
     assert_eq!(
-        &readme[start..stop],
+        between_markers(&readme, "README.md", "registry-table"),
         expected,
         "README scheduler table is stale — regenerate it with \
          `cargo run -p sgx-orchestrator --bin exp_chaos -- --list-policies`"
+    );
+}
+
+#[test]
+fn design_frontend_table_matches_the_registry() {
+    let design_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let design = std::fs::read_to_string(design_path).expect("DESIGN.md is readable");
+
+    let expected = FrontendRegistry::builtin().markdown_table();
+    assert_eq!(
+        between_markers(&design, "DESIGN.md", "frontend-table"),
+        expected,
+        "DESIGN frontend table is stale — regenerate it with \
+         `cargo run -p sgx-orchestrator --bin exp_frontends -- --list-frontends`"
     );
 }

@@ -705,6 +705,11 @@ struct PodGroupState {
     active: Vec<PodUid>,
     next_index: u64,
     peak_replicas: usize,
+    /// Externally offered load (streaming frontends drive this through
+    /// [`PodGroupAutoscaler::set_offered_load`]); when set it replaces
+    /// the spec's profile entirely. `Some(0.0)` drains the group below
+    /// `min_replicas`.
+    load_override: Option<f64>,
 }
 
 /// The horizontal pod-group autoscaler: reconciles each group's live
@@ -732,17 +737,39 @@ impl PodGroupAutoscaler {
                     active: Vec::new(),
                     next_index: 0,
                     peak_replicas: 0,
+                    load_override: None,
                 })
                 .collect(),
         }
     }
 
-    /// `true` once every group's profile ended and no replica is live —
-    /// the controller will never act again.
+    /// `true` once every group's profile ended (or its load override was
+    /// driven to zero) and no replica is live — the controller will
+    /// never act again unless a new load arrives.
     pub fn is_drained(&self, now: SimTime) -> bool {
-        self.groups
-            .iter()
-            .all(|g| now > g.spec.profile_end() && g.active.is_empty())
+        self.groups.iter().all(|g| {
+            g.active.is_empty()
+                && match g.load_override {
+                    Some(load) => load <= 0.0,
+                    None => now > g.spec.profile_end(),
+                }
+        })
+    }
+
+    /// Overrides the named group's offered load (replacing its profile
+    /// until further notice): the next reconcile targets
+    /// `ceil(load / capacity_per_replica)` clamped into
+    /// `[min_replicas, max_replicas]`, or zero — draining below
+    /// `min_replicas` — when `load` is not positive. Returns `false`
+    /// when no group has that name.
+    pub fn set_offered_load(&mut self, group: &str, load: f64) -> bool {
+        match self.groups.iter_mut().find(|g| g.spec.name == group) {
+            Some(state) => {
+                state.load_override = Some(load);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Highest live replica count each group reached, in group order.
@@ -778,7 +805,12 @@ impl PodGroupState {
                 Some(PodOutcome::Pending | PodOutcome::Running { .. })
             )
         });
-        let desired = self.spec.desired_replicas(now);
+        let desired = match self.load_override {
+            Some(load) if load > 0.0 => ((load / self.spec.capacity_per_replica).ceil() as usize)
+                .clamp(self.spec.min_replicas, self.spec.max_replicas),
+            Some(_) => 0,
+            None => self.spec.desired_replicas(now),
+        };
         if self.active.len() < desired {
             for _ in self.active.len()..desired {
                 let spec = self.spec.replica_spec(self.next_index, now);
@@ -964,6 +996,39 @@ mod tests {
                 crate::server::PodOutcome::Completed { .. }
             ));
         }
+    }
+
+    #[test]
+    fn offered_load_override_replaces_the_profile() {
+        let mut orch = small_orchestrator();
+        let mut hpa = PodGroupAutoscaler::new(vec![PodGroupSpec {
+            name: "api".into(),
+            sgx: false,
+            replica_request: ByteSize::from_gib(1),
+            min_replicas: 1,
+            max_replicas: 8,
+            capacity_per_replica: 100.0,
+            // Trivial profile: frontend-driven groups carry no schedule
+            // of their own.
+            profile: vec![(0, 0.0)],
+        }]);
+        assert!(!hpa.set_offered_load("nope", 1.0), "unknown group");
+        assert!(hpa.set_offered_load("api", 350.0));
+        let grow = hpa.tick(&mut orch, SimTime::from_secs(10));
+        assert_eq!(grow.submitted.len(), 4, "ceil(350/100) = 4");
+        orch.scheduler_pass(SimTime::from_secs(15));
+        assert!(!hpa.is_drained(SimTime::from_secs(15)));
+        // Positive load below one replica's capacity keeps the floor.
+        assert!(hpa.set_offered_load("api", 20.0));
+        let shrink = hpa.tick(&mut orch, SimTime::from_secs(30));
+        assert_eq!(shrink.retired.len(), 3, "down to min_replicas");
+        assert!(!hpa.is_drained(SimTime::from_secs(30)));
+        // Zero load drains below min_replicas and the controller rests.
+        assert!(hpa.set_offered_load("api", 0.0));
+        let drain = hpa.tick(&mut orch, SimTime::from_secs(50));
+        assert_eq!(drain.retired.len(), 1);
+        assert!(hpa.is_drained(SimTime::from_secs(50)));
+        assert_eq!(hpa.peak_replicas(), vec![("api".to_string(), 4)]);
     }
 
     #[test]

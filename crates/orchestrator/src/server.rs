@@ -332,6 +332,10 @@ pub struct Orchestrator {
     /// Scheduling passes taken so far; seeds the candidate-rotation
     /// cursor of sampled placements.
     pass_counter: u64,
+    /// Pods successfully bound (started running) over the orchestrator's
+    /// lifetime — the numerator of the online-serving pods-bound/sec
+    /// benchmark. Denied-at-init launches are not counted.
+    bound_count: u64,
     /// Snapshot captures performed so far (full or incremental).
     /// Observability for the drain regression tests: a whole drain must
     /// cost exactly one capture, not one per evicted pod.
@@ -373,6 +377,7 @@ impl Orchestrator {
             last_sample: BTreeMap::new(),
             snapshot_cache: RefCell::new(None),
             pass_counter: 0,
+            bound_count: 0,
             snapshot_captures: Cell::new(0),
             next_uid: 1,
         }
@@ -424,6 +429,12 @@ impl Orchestrator {
     /// The pending queue.
     pub fn queue(&self) -> &PendingQueue {
         &self.queue
+    }
+
+    /// Pods successfully bound (started running) since construction.
+    /// Monotonic; denied-at-init launches are excluded.
+    pub fn bound_count(&self) -> u64 {
+        self.bound_count
     }
 
     /// All pod records, keyed by uid.
@@ -552,6 +563,7 @@ impl Orchestrator {
                         record.outcome = PodOutcome::Running {
                             node: node_name.clone(),
                         };
+                        self.bound_count += 1;
                         self.events.record(
                             now,
                             EventKind::Scheduled {

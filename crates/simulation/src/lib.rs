@@ -28,6 +28,7 @@
 pub mod analysis;
 pub mod chaos;
 pub mod conformance;
+pub mod online;
 pub mod sweep;
 
 mod config;
@@ -38,5 +39,6 @@ pub use config::{
     AutoscaleConfig, MaliciousConfig, NodeDrain, NodeFailure, RebalanceConfig, ReplayConfig,
 };
 pub use conformance::{TraceHarness, TraceOp};
-pub use replay::{replay, JobRun, ReplayResult};
+pub use online::{online_channel, OnlineFrontend, OnlineHandle, OnlineReport, OnlineServer};
+pub use replay::{replay, replay_stream, JobRun, ReplayResult, DEFAULT_GROUP_AUTOSCALE_PERIOD};
 pub use sweep::{SweepJob, SweepProgress};

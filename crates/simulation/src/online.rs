@@ -1,0 +1,320 @@
+//! Online serving mode: a long-running orchestrator fed at wall-clock
+//! speed.
+//!
+//! The replay engine is batch-shaped — it pulls a finite stream and
+//! runs it to completion in virtual time. This module turns the same
+//! [`TraceFrontend`] trait into a *service*: [`online_channel`] yields
+//! a channel-backed [`OnlineFrontend`] plus an [`OnlineHandle`] any
+//! thread can push submissions through, and [`OnlineServer::serve`]
+//! drives the orchestrator against the wall clock, stamping each
+//! submission with its arrival instant and running the scheduler and
+//! probe loops on their configured periods in between. Sustained
+//! pods-bound/sec (the `bench_online` metric) falls out of the
+//! resulting [`OnlineReport`].
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::time::Instant;
+
+use borg_trace::frontend::{FrontendHint, TraceFrontend, WorkloadEvent};
+use borg_trace::WorkloadJob;
+use cluster::api::PodUid;
+use des::{EventQueue, SimDuration, SimTime};
+use orchestrator::{Orchestrator, PodOutcome};
+
+use crate::config::ReplayConfig;
+use crate::replay::pod_spec_for;
+
+/// Capacity of the submission channel: deep enough that a benchmark
+/// submitter never stalls on the server's scheduling passes, bounded so
+/// a runaway producer exerts backpressure instead of exhausting memory.
+const CHANNEL_DEPTH: usize = 4096;
+
+/// Creates a connected submission channel: events pushed through the
+/// [`OnlineHandle`] come out of the [`OnlineFrontend`]'s
+/// `next_event` in order; dropping (or [`OnlineHandle::close`]-ing)
+/// every handle ends the stream.
+pub fn online_channel() -> (OnlineHandle, OnlineFrontend) {
+    let (tx, rx) = mpsc::sync_channel(CHANNEL_DEPTH);
+    (OnlineHandle { tx }, OnlineFrontend { rx })
+}
+
+/// The submitting side of an online session. Cloneable so many producer
+/// threads can share one orchestrator.
+#[derive(Debug, Clone)]
+pub struct OnlineHandle {
+    tx: SyncSender<WorkloadEvent>,
+}
+
+impl OnlineHandle {
+    /// Submits a job. The job's `submit` field is ignored — the server
+    /// stamps the wall-clock arrival instant. Returns `false` when the
+    /// server is gone.
+    pub fn submit(&self, job: WorkloadJob) -> bool {
+        self.tx
+            .send(WorkloadEvent::Submit {
+                job,
+                hostile: false,
+            })
+            .is_ok()
+    }
+
+    /// Ends the stream (equivalent to dropping the last handle).
+    pub fn close(self) {}
+}
+
+/// A [`TraceFrontend`] whose events arrive over a channel instead of a
+/// generator: `next_event` blocks until the next submission lands or
+/// every [`OnlineHandle`] is gone.
+#[derive(Debug)]
+pub struct OnlineFrontend {
+    rx: Receiver<WorkloadEvent>,
+}
+
+impl TraceFrontend for OnlineFrontend {
+    fn next_event(&mut self) -> Option<WorkloadEvent> {
+        self.rx.recv().ok()
+    }
+
+    fn hint(&self) -> FrontendHint {
+        // Nothing is known up front: the stream is open-ended.
+        FrontendHint {
+            expected_jobs: 0,
+            horizon: SimDuration::ZERO,
+            service_groups: Vec::new(),
+        }
+    }
+}
+
+/// Internal events of the serving loop — the replay engine's periodic
+/// machinery, minus everything batch-only (failures, drains, chaos).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ServeEvent {
+    SchedulerTick,
+    ProbeTick,
+    PodFinish(PodUid, u32),
+}
+
+/// What an online session did, plus the wall-clock cost of doing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Jobs accepted through the channel.
+    pub submitted: usize,
+    /// Pods the scheduler bound to a node (the throughput numerator;
+    /// rebinds after eviction count again, denials never bind).
+    pub bound: u64,
+    /// Pods that completed their useful work.
+    pub completed: usize,
+    /// Pods killed at launch for exceeding their declared limits.
+    pub denied: usize,
+    /// Pods that could never fit the cluster.
+    pub unschedulable: usize,
+    /// Wall-clock seconds from `serve` start to the end of the drain.
+    pub wall_secs: f64,
+    /// Simulated instant of the last processed event.
+    pub sim_end: SimTime,
+}
+
+impl OnlineReport {
+    /// Sustained scheduler throughput: pods bound per wall-clock second
+    /// over the whole session (ingest + drain).
+    pub fn bound_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.bound as f64 / self.wall_secs
+    }
+}
+
+/// A long-running orchestrator accepting submissions at wall-clock
+/// speed through the in-process API.
+#[derive(Debug)]
+pub struct OnlineServer {
+    orch: Orchestrator,
+    scheduler_period: SimDuration,
+    probe_period: SimDuration,
+}
+
+impl OnlineServer {
+    /// Builds the cluster and orchestrator from `config`. Online mode
+    /// uses the cluster, orchestrator tunables and limit enforcement;
+    /// batch-only injections (failures, drains, faults, autoscaling)
+    /// are ignored.
+    pub fn new(config: &ReplayConfig) -> Self {
+        let mut orch = Orchestrator::new(config.cluster.clone(), config.orchestrator.clone());
+        orch.set_enforce_limits(config.enforce_limits);
+        OnlineServer {
+            orch,
+            scheduler_period: config.orchestrator.scheduler_period,
+            probe_period: config.orchestrator.probe_period,
+        }
+    }
+
+    /// Serves the frontend until its stream ends, then drains: arrival
+    /// instants come from the wall clock (each submission is stamped
+    /// with the elapsed time since `serve` began), and the scheduler
+    /// and probe loops catch up to every arrival before it is
+    /// submitted. After the last event the remaining work is finished
+    /// at virtual speed. `GroupLoad` events are ignored — online mode
+    /// has no pod-group controller.
+    pub fn serve(mut self, frontend: &mut dyn TraceFrontend) -> OnlineReport {
+        let epoch = Instant::now();
+        let mut events: EventQueue<ServeEvent> = EventQueue::with_capacity(1024);
+        events.schedule(SimTime::ZERO, ServeEvent::SchedulerTick);
+        events.schedule(SimTime::ZERO, ServeEvent::ProbeTick);
+        let mut generation: BTreeMap<PodUid, u32> = BTreeMap::new();
+        let mut running = 0usize;
+        let mut submitted = 0usize;
+        let mut sim_end = SimTime::ZERO;
+
+        while let Some(event) = frontend.next_event() {
+            // Stamp the arrival and let the periodic machinery catch up
+            // to it first, so a burst of arrivals cannot starve the
+            // scheduling loop.
+            let now = SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+            self.advance_to(now, &mut events, &mut generation, &mut running);
+            sim_end = now;
+            if let WorkloadEvent::Submit { job, .. } = event {
+                self.orch.submit(pod_spec_for(&job), now);
+                submitted += 1;
+            }
+        }
+
+        // The stream ended: finish the in-flight work at virtual speed.
+        while running > 0 || !self.orch.queue().is_empty() {
+            let Some(due) = events.peek_time() else { break };
+            self.advance_to(due, &mut events, &mut generation, &mut running);
+            sim_end = due;
+        }
+
+        let completed = self.count_outcome(|o| matches!(o, PodOutcome::Completed { .. }));
+        let denied = self.count_outcome(|o| matches!(o, PodOutcome::Denied { .. }));
+        let unschedulable = self.count_outcome(|o| *o == PodOutcome::Unschedulable);
+        OnlineReport {
+            submitted,
+            bound: self.orch.bound_count(),
+            completed,
+            denied,
+            unschedulable,
+            wall_secs: epoch.elapsed().as_secs_f64(),
+            sim_end,
+        }
+    }
+
+    /// Processes every internal event due at or before `now`: scheduler
+    /// and probe ticks re-arm on their periods (they never de-arm — the
+    /// server is long-running), pod finishes complete their pods.
+    fn advance_to(
+        &mut self,
+        now: SimTime,
+        events: &mut EventQueue<ServeEvent>,
+        generation: &mut BTreeMap<PodUid, u32>,
+        running: &mut usize,
+    ) {
+        while events.peek_time().is_some_and(|at| at <= now) {
+            let (at, event) = events.pop().expect("peeked");
+            match event {
+                ServeEvent::SchedulerTick => {
+                    for outcome in self.orch.scheduler_pass(at) {
+                        if outcome.report.started() {
+                            *running += 1;
+                            let runtime = outcome
+                                .spec_duration
+                                .mul_f64(outcome.slowdown_at_start.max(1.0));
+                            let gen = *generation.entry(outcome.uid).or_insert(0);
+                            let finish = at + outcome.report.startup_delay + runtime;
+                            events.schedule(finish, ServeEvent::PodFinish(outcome.uid, gen));
+                        }
+                    }
+                    events.schedule(at + self.scheduler_period, ServeEvent::SchedulerTick);
+                }
+                ServeEvent::ProbeTick => {
+                    self.orch.probe_pass(at);
+                    events.schedule(at + self.probe_period, ServeEvent::ProbeTick);
+                }
+                ServeEvent::PodFinish(uid, event_generation) => {
+                    if generation.get(&uid).copied().unwrap_or(0) != event_generation {
+                        continue;
+                    }
+                    *running -= 1;
+                    self.orch
+                        .complete_pod(uid, at)
+                        .expect("finish events only exist for running pods");
+                }
+            }
+        }
+    }
+
+    fn count_outcome(&self, pred: impl Fn(&PodOutcome) -> bool) -> usize {
+        self.orch
+            .records()
+            .iter()
+            .filter(|(_, r)| pred(&r.outcome))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borg_trace::{GeneratorConfig, Workload, WorkloadParams};
+
+    fn small_jobs(seed: u64) -> Vec<WorkloadJob> {
+        let trace = GeneratorConfig::small(seed).generate_sampled(10);
+        Workload::materialize(&trace, &WorkloadParams::paper(0.5, seed))
+            .jobs()
+            .to_vec()
+    }
+
+    #[test]
+    fn online_session_binds_and_completes_submissions() {
+        let jobs = small_jobs(31);
+        let expected = jobs.len();
+        let (handle, mut frontend) = online_channel();
+        let submitter = std::thread::spawn(move || {
+            for job in jobs {
+                assert!(handle.submit(job));
+            }
+        });
+        let server = OnlineServer::new(&ReplayConfig::paper(31));
+        let report = server.serve(&mut frontend);
+        submitter.join().unwrap();
+        assert_eq!(report.submitted, expected);
+        // Every submission reaches a terminal state.
+        assert_eq!(
+            report.completed + report.denied + report.unschedulable,
+            expected
+        );
+        // Everything that was not denied at launch was bound at least
+        // once.
+        assert!(report.bound as usize >= expected - report.denied - report.unschedulable);
+        assert!(report.wall_secs > 0.0);
+        assert!(report.bound_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn closed_channel_ends_an_empty_session() {
+        let (handle, mut frontend) = online_channel();
+        handle.close();
+        let report = OnlineServer::new(&ReplayConfig::paper(1)).serve(&mut frontend);
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.bound, 0);
+        assert_eq!(report.bound_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn group_load_events_are_ignored_online() {
+        let (handle, mut frontend) = online_channel();
+        handle
+            .tx
+            .send(WorkloadEvent::GroupLoad {
+                at: SimTime::ZERO,
+                group: "web".to_string(),
+                load: 100.0,
+            })
+            .unwrap();
+        drop(handle);
+        let report = OnlineServer::new(&ReplayConfig::paper(1)).serve(&mut frontend);
+        assert_eq!(report.submitted, 0);
+    }
+}

@@ -3,11 +3,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use borg_trace::frontend::{MaterializedFrontend, TraceFrontend, WorkloadEvent};
 use borg_trace::{Workload, WorkloadJob};
 use cluster::api::{NodeName, PodSpec, PodUid, ResourceRequirements, Resources};
 use des::stats::TimeSeries;
 use des::{EventQueue, SimDuration, SimTime};
-use orchestrator::autoscale::{ClusterAutoscaler, ElasticityMetrics, PodGroupAutoscaler};
+use orchestrator::autoscale::{
+    AutoscaleOutcome, ClusterAutoscaler, ElasticityMetrics, PodGroupAutoscaler, PodGroupSpec,
+};
 use orchestrator::events::ClusterEvent;
 use orchestrator::{Migration, Orchestrator, PodOutcome, PodRecord};
 use sgx_sim::units::ByteSize;
@@ -16,11 +19,13 @@ use stress::Stressor;
 use crate::chaos::{FaultInjector, FaultStats, FrameFate};
 use crate::config::ReplayConfig;
 
-/// Events driving the replay.
+/// Events driving the replay. Job submissions are *not* queue events:
+/// the loop pulls them lazily from the [`TraceFrontend`], holding one
+/// lookahead event, and interleaves them with the queue by time (the
+/// frontend wins ties, which reproduces the legacy ordering where all
+/// pre-scheduled submits carried the lowest sequence numbers).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Event {
-    /// Submit workload job `index`.
-    Submit(usize),
     /// Submit the malicious squatters (Fig. 11).
     SubmitMalicious,
     /// Periodic scheduling pass.
@@ -76,11 +81,13 @@ struct InFlightFrame {
 /// One submitted pod with its provenance, after the replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRun {
-    /// The workload job this pod came from; `None` for malicious pods.
+    /// The workload job this pod came from; `None` for the injected
+    /// malicious squatters, which have no trace job.
     pub job: Option<WorkloadJob>,
     /// The orchestrator's lifecycle record.
     pub record: PodRecord,
-    /// `true` for the injected malicious squatters.
+    /// `true` for the injected malicious squatters (Fig. 11) and for
+    /// frontend submissions flagged hostile.
     pub malicious: bool,
 }
 
@@ -107,6 +114,7 @@ pub struct ReplayResult {
     degraded_decisions: u64,
     elasticity: Option<ElasticityMetrics>,
     group_peak_replicas: Vec<(String, usize)>,
+    peak_materialized_jobs: usize,
 }
 
 // Hand-written so a replay without autoscaling formats exactly like the
@@ -132,6 +140,8 @@ impl fmt::Debug for ReplayResult {
             s.field("elasticity", &self.elasticity)
                 .field("group_peak_replicas", &self.group_peak_replicas);
         }
+        // `peak_materialized_jobs` is memory telemetry, not replay
+        // behaviour — never formatted, so the golden digests stay stable.
         s.finish()
     }
 }
@@ -222,6 +232,16 @@ impl ReplayResult {
         &self.group_peak_replicas
     }
 
+    /// Peak number of workload jobs that were materialised ahead of
+    /// their submission during the replay. A streamed frontend holds a
+    /// single lookahead event, so this is 1 (0 for an empty trace);
+    /// the legacy `replay(&Workload, ..)` path reports the whole
+    /// workload's length — the `bench_autoscale` O(in-flight) memory
+    /// proof compares the two.
+    pub fn peak_materialized_jobs(&self) -> usize {
+        self.peak_materialized_jobs
+    }
+
     /// Number of pods that completed normally.
     pub fn completed_count(&self) -> usize {
         self.runs
@@ -247,10 +267,38 @@ impl ReplayResult {
     }
 }
 
-/// Replays a workload against a freshly built cluster and orchestrator.
+/// Pod-group reconcile cadence used when a frontend announces service
+/// groups but the replay has no explicit autoscale configuration.
+pub const DEFAULT_GROUP_AUTOSCALE_PERIOD: SimDuration = SimDuration::from_secs(15);
+
+/// Replays a fully materialised workload against a freshly built
+/// cluster and orchestrator — the legacy entry point, now a thin
+/// adapter over [`replay_stream`]. Property tests prove the adapter is
+/// bit-identical to streaming the same generator, and the policy
+/// goldens pin the combined engine to the pre-streaming behaviour.
 ///
 /// The loop is fully deterministic for a given `(workload, config)` pair.
 pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
+    let mut frontend = MaterializedFrontend::new(workload);
+    let mut result = replay_stream(&mut frontend, config);
+    // The caller materialised the whole workload up front; report that,
+    // not the adapter's one-event lookahead.
+    result.peak_materialized_jobs = workload.len();
+    result
+}
+
+/// Replays a streaming [`TraceFrontend`] against a freshly built
+/// cluster and orchestrator.
+///
+/// Submissions are pulled lazily — the loop holds one lookahead event —
+/// so memory stays O(in-flight pods) regardless of the horizon.
+/// Service groups announced in the frontend's hint are handed to the
+/// pod-group autoscaler (created on demand, ticking every
+/// [`DEFAULT_GROUP_AUTOSCALE_PERIOD`], when `config.autoscale` is off)
+/// and driven by the frontend's [`WorkloadEvent::GroupLoad`] events.
+///
+/// The loop is fully deterministic for a given `(frontend, config)` pair.
+pub fn replay_stream(frontend: &mut dyn TraceFrontend, config: &ReplayConfig) -> ReplayResult {
     let mut orch = Orchestrator::new(config.cluster.clone(), config.orchestrator.clone());
     orch.set_enforce_limits(config.enforce_limits);
     if let Some(model) = config.cost_model {
@@ -263,16 +311,14 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let probe_period = config.orchestrator.probe_period;
     let cap = SimTime::ZERO + config.max_sim_time;
 
-    // Every job contributes a Submit and (usually) a PodFinish, the
-    // periodic loops keep at most one in-flight event each, and each
-    // injected failure or drain adds an open/close pair — so ~2 events
-    // per job plus a small constant bounds the heap's high-water mark.
+    let hint = frontend.hint();
+    // Every job contributes (usually) a PodFinish, the periodic loops
+    // keep at most one in-flight event each, and each injected failure
+    // or drain adds an open/close pair — so ~2 events per expected job
+    // plus a small constant bounds the heap's high-water mark.
     let event_estimate =
-        workload.len() * 2 + config.failures.len() * 2 + config.drains.len() * 2 + 8;
+        hint.expected_jobs * 2 + config.failures.len() * 2 + config.drains.len() * 2 + 8;
     let mut events: EventQueue<Event> = EventQueue::with_capacity(event_estimate);
-    for (index, job) in workload.iter().enumerate() {
-        events.schedule(job.submit, Event::Submit(index));
-    }
     if let Some(mal) = &config.malicious {
         events.schedule(
             SimTime::from_secs(mal.submit_at_secs),
@@ -296,18 +342,57 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     if let Some(rebalance) = config.rebalance {
         events.schedule(SimTime::ZERO + rebalance.period, Event::RebalanceTick);
     }
-    if let Some(autoscale) = &config.autoscale {
-        events.schedule(SimTime::ZERO + autoscale.period, Event::AutoscaleTick);
+
+    // The two autoscaling controllers. The node-pool controller exists
+    // only when configured; the pod-group controller also comes up when
+    // the frontend announces service groups (their reconcile templates
+    // start at zero offered load and are driven purely by `GroupLoad`).
+    let frontend_groups: Vec<PodGroupSpec> = hint
+        .service_groups
+        .iter()
+        .map(|g| PodGroupSpec {
+            name: g.name.clone(),
+            sgx: g.sgx,
+            replica_request: g.replica_request,
+            min_replicas: g.min_replicas,
+            max_replicas: g.max_replicas,
+            capacity_per_replica: g.capacity_per_replica,
+            profile: vec![(0, 0.0)],
+        })
+        .collect();
+    let mut cluster_as = config
+        .autoscale
+        .as_ref()
+        .map(|autoscale| ClusterAutoscaler::new(autoscale.policy.clone()));
+    let mut groups_as = (config.autoscale.is_some() || !frontend_groups.is_empty()).then(|| {
+        let mut specs = config
+            .autoscale
+            .as_ref()
+            .map(|autoscale| autoscale.pod_groups.clone())
+            .unwrap_or_default();
+        specs.extend(frontend_groups);
+        PodGroupAutoscaler::new(specs)
+    });
+    let autoscale_period = match (&config.autoscale, &groups_as) {
+        (Some(autoscale), _) => Some(autoscale.period),
+        (None, Some(_)) => Some(DEFAULT_GROUP_AUTOSCALE_PERIOD),
+        (None, None) => None,
+    };
+    let autoscale_audit = config.autoscale.as_ref().is_some_and(|a| a.audit);
+    if let Some(period) = autoscale_period {
+        events.schedule(SimTime::ZERO + period, Event::AutoscaleTick);
     }
 
-    let mut uid_to_job: BTreeMap<PodUid, usize> = BTreeMap::new();
+    let mut uid_to_job: BTreeMap<PodUid, WorkloadJob> = BTreeMap::new();
     let mut generation: BTreeMap<PodUid, u32> = BTreeMap::new();
     // In-flight finish instant per running pod, so a live migration can
     // shift the finish by its transfer delay (downtime → turnaround).
     let mut finish_at: BTreeMap<PodUid, SimTime> = BTreeMap::new();
     let mut malicious_uids: Vec<PodUid> = Vec::new();
     let mut running = 0usize;
-    let mut submits_remaining = workload.len() + usize::from(config.malicious.is_some());
+    // The malicious tenant is a queue event, not a frontend event; its
+    // own flag keeps the periodic loops armed until it lands.
+    let mut malicious_pending = config.malicious.is_some();
     let mut pending_epc_series = TimeSeries::new();
     let mut pending_memory_series = TimeSeries::new();
     let mut epc_imbalance_series = TimeSeries::new();
@@ -320,16 +405,7 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let mut sched_armed = true;
     let mut probe_armed = true;
     let mut rebalance_armed = config.rebalance.is_some();
-    let mut autoscale_armed = config.autoscale.is_some();
-    // The two autoscaling controllers (node pool + pod groups), present
-    // only when configured — a replay without them takes the exact
-    // pre-autoscaling code path.
-    let mut autoscaler = config.autoscale.as_ref().map(|autoscale| {
-        (
-            ClusterAutoscaler::new(autoscale.policy.clone()),
-            PodGroupAutoscaler::new(autoscale.pod_groups.clone()),
-        )
-    });
+    let mut autoscale_armed = autoscale_period.is_some();
     // Service replicas the pod-group controller submitted: they are
     // infrastructure, not trace jobs, and stay out of `runs`.
     let mut group_uids: BTreeSet<PodUid> = BTreeSet::new();
@@ -341,7 +417,81 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
     let mut in_flight: BTreeMap<u64, InFlightFrame> = BTreeMap::new();
     let mut next_frame_id = 0u64;
 
-    while let Some((now, event)) = events.pop() {
+    // One lookahead frontend event: the stream never materialises more
+    // than a single job ahead of the simulation clock.
+    let mut next_fe = frontend.next_event();
+    let peak_materialized_jobs = usize::from(next_fe.is_some());
+
+    loop {
+        // Interleave the frontend with the queue by time. The frontend
+        // wins ties, which reproduces the legacy ordering where all
+        // pre-scheduled submits carried the lowest sequence numbers.
+        let take_fe = match (next_fe.as_ref().map(WorkloadEvent::at), events.peek_time()) {
+            (Some(fe_at), Some(queue_at)) => fe_at <= queue_at,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_fe {
+            let fe = next_fe.take().expect("take_fe implies a lookahead event");
+            let now = fe.at();
+            if now > cap {
+                // The replay is cut off *at* the cap: events past it
+                // never execute, so the makespan reported is the cap.
+                end_time = cap;
+                timed_out = true;
+                break;
+            }
+            end_time = now;
+            match fe {
+                WorkloadEvent::Submit { job, hostile } => {
+                    let uid = orch.submit(pod_spec_for(&job), now);
+                    uid_to_job.insert(uid, job);
+                    if hostile {
+                        malicious_uids.push(uid);
+                    }
+                    if !sched_armed {
+                        events.schedule(now, Event::SchedulerTick);
+                        sched_armed = true;
+                    }
+                    if !probe_armed {
+                        events.schedule(now, Event::ProbeTick);
+                        probe_armed = true;
+                    }
+                    if let Some(rebalance) = config.rebalance {
+                        if !rebalance_armed {
+                            events.schedule(now + rebalance.period, Event::RebalanceTick);
+                            rebalance_armed = true;
+                        }
+                    }
+                    if let Some(period) = autoscale_period {
+                        if !autoscale_armed {
+                            events.schedule(now + period, Event::AutoscaleTick);
+                            autoscale_armed = true;
+                        }
+                    }
+                }
+                WorkloadEvent::GroupLoad { group, load, .. } => {
+                    let groups = groups_as
+                        .as_mut()
+                        .expect("GroupLoad events require announced service groups");
+                    assert!(
+                        groups.set_offered_load(&group, load),
+                        "frontend drove unannounced group {group:?}"
+                    );
+                    // A load change must wake the controller even after
+                    // it de-armed itself in a lull.
+                    if !autoscale_armed {
+                        events.schedule(now, Event::AutoscaleTick);
+                        autoscale_armed = true;
+                    }
+                }
+            }
+            next_fe = frontend.next_event();
+            continue;
+        }
+        let Some((now, event)) = events.pop() else {
+            break;
+        };
         if now > cap {
             // The replay is cut off *at* the cap: events past it never
             // execute, so the makespan reported is the cap itself.
@@ -351,34 +501,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         }
         end_time = now;
         match event {
-            Event::Submit(index) => {
-                submits_remaining -= 1;
-                let job = &workload.jobs()[index];
-                let uid = orch.submit(pod_spec_for(job), now);
-                uid_to_job.insert(uid, index);
-                if !sched_armed {
-                    events.schedule(now, Event::SchedulerTick);
-                    sched_armed = true;
-                }
-                if !probe_armed {
-                    events.schedule(now, Event::ProbeTick);
-                    probe_armed = true;
-                }
-                if let Some(rebalance) = config.rebalance {
-                    if !rebalance_armed {
-                        events.schedule(now + rebalance.period, Event::RebalanceTick);
-                        rebalance_armed = true;
-                    }
-                }
-                if let Some(autoscale) = &config.autoscale {
-                    if !autoscale_armed {
-                        events.schedule(now + autoscale.period, Event::AutoscaleTick);
-                        autoscale_armed = true;
-                    }
-                }
-            }
             Event::SubmitMalicious => {
-                submits_remaining -= 1;
+                malicious_pending = false;
                 let mal = config.malicious.expect("event only scheduled when set");
                 // One malicious pod per SGX node ("as many of them as
                 // there are SGX-enabled nodes", §VI-F).
@@ -413,7 +537,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                 pending_epc_series.record(now, orch.queue().epc_requested().as_mib_f64());
                 pending_memory_series.record(now, orch.queue().memory_requested().as_mib_f64());
                 epc_imbalance_series.record(now, orch.epc_imbalance());
-                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                if next_fe.is_some() || malicious_pending || running > 0 || !orch.queue().is_empty()
+                {
                     events.schedule(now + scheduler_period, Event::SchedulerTick);
                 } else {
                     sched_armed = false;
@@ -467,7 +592,8 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                         orch.enforce_metrics_retention(now);
                     }
                 }
-                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                if next_fe.is_some() || malicious_pending || running > 0 || !orch.queue().is_empty()
+                {
                     events.schedule(now + probe_period, Event::ProbeTick);
                 } else {
                     probe_armed = false;
@@ -526,9 +652,9 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                         rebalance_armed = true;
                     }
                 }
-                if let Some(autoscale) = &config.autoscale {
+                if let Some(period) = autoscale_period {
                     if !autoscale_armed {
-                        events.schedule(now + autoscale.period, Event::AutoscaleTick);
+                        events.schedule(now + period, Event::AutoscaleTick);
                         autoscale_armed = true;
                     }
                 }
@@ -552,22 +678,22 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                     &mut migration_downtime,
                 );
                 epc_imbalance_series.record(now, orch.epc_imbalance());
-                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() {
+                if next_fe.is_some() || malicious_pending || running > 0 || !orch.queue().is_empty()
+                {
                     events.schedule(now + rebalance.period, Event::RebalanceTick);
                 } else {
                     rebalance_armed = false;
                 }
             }
             Event::AutoscaleTick => {
-                let autoscale = config
-                    .autoscale
-                    .as_ref()
-                    .expect("event only scheduled when set");
-                let (cluster_as, groups_as) = autoscaler
-                    .as_mut()
-                    .expect("event only scheduled when the controllers exist");
-                let mut outcome = cluster_as.tick(&mut orch, now);
-                outcome.merge(groups_as.tick(&mut orch, now));
+                let period = autoscale_period.expect("event only scheduled when a period exists");
+                let mut outcome = AutoscaleOutcome::default();
+                if let Some(cluster_as) = cluster_as.as_mut() {
+                    outcome.merge(cluster_as.tick(&mut orch, now));
+                }
+                if let Some(groups_as) = groups_as.as_mut() {
+                    outcome.merge(groups_as.tick(&mut orch, now));
+                }
                 for (_, removal) in &outcome.removed {
                     // Scale-down drained a node: migrated pods shift
                     // their finishes by the transfer delay; stragglers
@@ -608,7 +734,7 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                         probe_armed = true;
                     }
                 }
-                if autoscale.audit {
+                if autoscale_audit {
                     let violations = orch.audit_invariants();
                     assert!(
                         violations.is_empty(),
@@ -620,10 +746,18 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
                 }
                 // Unlike the other periodic loops, live service groups
                 // keep the controller armed through batch-workload lulls:
-                // future profile demand must still be served.
-                let groups_live = !groups_as.is_drained(now);
-                if submits_remaining > 0 || running > 0 || !orch.queue().is_empty() || groups_live {
-                    events.schedule(now + autoscale.period, Event::AutoscaleTick);
+                // future profile (or frontend-driven) demand must still
+                // be served.
+                let groups_live = groups_as
+                    .as_ref()
+                    .is_some_and(|groups| !groups.is_drained(now));
+                if next_fe.is_some()
+                    || malicious_pending
+                    || running > 0
+                    || !orch.queue().is_empty()
+                    || groups_live
+                {
+                    events.schedule(now + period, Event::AutoscaleTick);
                 } else {
                     autoscale_armed = false;
                 }
@@ -654,14 +788,15 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         }
     }
 
-    let runs = build_runs(&orch, workload, &uid_to_job, &malicious_uids, &group_uids);
+    let runs = build_runs(&orch, &uid_to_job, &malicious_uids, &group_uids);
     let events = orch.events().iter().cloned().collect();
     let degraded_decisions = orch.degraded_decisions();
     let fault_stats = injector.map(FaultInjector::into_stats).unwrap_or_default();
-    let (elasticity, group_peak_replicas) = match &autoscaler {
-        Some((cluster_as, groups_as)) => (Some(*cluster_as.metrics()), groups_as.peak_replicas()),
-        None => (None, Vec::new()),
-    };
+    let elasticity = cluster_as.as_ref().map(|cluster_as| *cluster_as.metrics());
+    let group_peak_replicas = groups_as
+        .as_ref()
+        .map(PodGroupAutoscaler::peak_replicas)
+        .unwrap_or_default();
     ReplayResult {
         runs,
         pending_epc_series,
@@ -676,6 +811,7 @@ pub fn replay(workload: &Workload, config: &ReplayConfig) -> ReplayResult {
         degraded_decisions,
         elasticity,
         group_peak_replicas,
+        peak_materialized_jobs,
     }
 }
 
@@ -750,8 +886,7 @@ fn apply_migrations(
 
 fn build_runs(
     orch: &Orchestrator,
-    workload: &Workload,
-    uid_to_job: &BTreeMap<PodUid, usize>,
+    uid_to_job: &BTreeMap<PodUid, WorkloadJob>,
     malicious_uids: &[PodUid],
     group_uids: &BTreeSet<PodUid>,
 ) -> Vec<JobRun> {
@@ -761,7 +896,7 @@ fn build_runs(
             continue; // service replicas are infrastructure, not jobs
         }
         let malicious = malicious_uids.contains(uid);
-        let job = uid_to_job.get(uid).map(|&index| workload.jobs()[index]);
+        let job = uid_to_job.get(uid).copied();
         runs.push(JobRun {
             job,
             record: record.clone(),
@@ -771,7 +906,11 @@ fn build_runs(
     runs
 }
 
-fn pod_spec_for(job: &WorkloadJob) -> PodSpec {
+/// Turns a workload job into the pod spec the orchestrator sees: SGX
+/// jobs request EPC pages, standard jobs plain memory, and the stressor
+/// reproduces the job's actual allocation behaviour. Shared with the
+/// online serving loop.
+pub(crate) fn pod_spec_for(job: &WorkloadJob) -> PodSpec {
     let requests = match job.kind {
         borg_trace::JobKind::Sgx => Resources::with_epc(ByteSize::ZERO, job.epc_request()),
         borg_trace::JobKind::Standard => Resources::memory(job.mem_request),
